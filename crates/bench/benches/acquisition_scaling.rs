@@ -1,0 +1,125 @@
+//! Acquisition-process cost vs batch size — the mechanism behind
+//! Figs. 2 and 9: KB's q sequential conditionings, mic's q/2, MC-q-EI's
+//! joint q·d optimization, and BSP's 2q local problems.
+//!
+//! Each benchmark builds one batch from a frozen, fitted model — i.e.
+//! measures exactly what the virtual clock charges as "acquisition".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbo_core::algorithms::{kb_qego, mic_qego, qei_multistart};
+use pbo_core::engine::AlgoConfig;
+use pbo_gp::kernel::{Kernel, KernelType};
+use pbo_gp::GaussianProcess;
+use pbo_linalg::Matrix;
+use pbo_opt::Bounds;
+use pbo_sampling::{lhs, SeedStream};
+
+const Q_GRID: [usize; 3] = [2, 4, 8];
+
+fn fitted_gp(n: usize) -> GaussianProcess {
+    let seeds = SeedStream::new(17);
+    let pts = lhs::latin_hypercube(&mut seeds.fork_named("d").rng(), n, 12);
+    let mut x = Matrix::zeros(0, 12);
+    let mut y = Vec::with_capacity(n);
+    for p in &pts {
+        y.push(p.iter().enumerate().map(|(i, v)| ((i + 1) as f64 * v).sin()).sum::<f64>());
+        x.push_row(p).unwrap();
+    }
+    let mut kernel = Kernel::new(KernelType::Matern52, 12);
+    kernel.lengthscales = vec![0.4; 12];
+    GaussianProcess::new(x, &y, kernel, 1e-4).unwrap()
+}
+
+fn cfg() -> AlgoConfig {
+    AlgoConfig {
+        acq_restarts: 2,
+        acq_raw_samples: 24,
+        qei_samples: 64,
+        qei_restarts: 2,
+        qei_raw_samples: 8,
+        ..AlgoConfig::default()
+    }
+}
+
+fn bench_kb(c: &mut Criterion) {
+    let gp = fitted_gp(128);
+    let bounds = Bounds::unit(12);
+    let cfg = cfg();
+    let mut g = c.benchmark_group("acq_kb_q_ego");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for &q in &Q_GRID {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| kb_qego::kb_batch(&gp, &bounds, q, &cfg, 1).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_mic(c: &mut Criterion) {
+    let gp = fitted_gp(128);
+    let bounds = Bounds::unit(12);
+    let cfg = cfg();
+    let mut g = c.benchmark_group("acq_mic_q_ego");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for &q in &Q_GRID {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| mic_qego::mic_batch(&gp, &bounds, q, &cfg, 1).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_mc_qei(c: &mut Criterion) {
+    let gp = fitted_gp(128);
+    let bounds = Bounds::unit(12);
+    let cfg = cfg();
+    let f_best = gp.best_observed(false);
+    let mut g = c.benchmark_group("acq_mc_qei_joint");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for &q in &Q_GRID {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            let qei = pbo_acq::mc::QExpectedImprovement::new(f_best, q, cfg.qei_samples, 3);
+            let ms = qei_multistart(&cfg, 3);
+            b.iter(|| pbo_acq::mc::optimize_qei(&gp, &qei, &bounds, &[], &ms).1)
+        });
+    }
+    g.finish();
+}
+
+/// BSP's 2q local EI problems, measured as total serial work (the
+/// engine divides by q workers when charging the virtual clock).
+fn bench_bsp_cells(c: &mut Criterion) {
+    let gp = fitted_gp(128);
+    let cfg = cfg();
+    let f_best = gp.best_observed(false);
+    let mut g = c.benchmark_group("acq_bsp_cells_serial");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for &q in &Q_GRID {
+        let tree = pbo_core::partition::BspTree::new(Bounds::unit(12), 2 * q);
+        let cells: Vec<Bounds> =
+            tree.leaves().iter().map(|&l| tree.bounds_of(l).clone()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for (k, cell) in cells.iter().enumerate() {
+                    let ei = pbo_acq::single::ExpectedImprovement { f_best };
+                    let ms = pbo_core::algorithms::acq_multistart(&cfg, k as u64);
+                    total += pbo_acq::single::optimize_single(&gp, &ei, cell, &[], &ms).value;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kb, bench_mic, bench_mc_qei, bench_bsp_cells);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! End-to-end cycle benchmarks: one full optimization cycle (fit +
+//! acquisition + batch evaluation) per algorithm, on the benchmark
+//! suite and on UPHES — the per-cycle wall cost that, multiplied by the
+//! paper's overhead scale, fills the 20-minute virtual budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbo_core::algorithms::{run_algorithm_with, AlgorithmKind};
+use pbo_core::budget::Budget;
+use pbo_core::clock::CostModel;
+use pbo_core::engine::AlgoConfig;
+use pbo_problems::{SyntheticFn, UphesProblem};
+
+fn quick_cfg() -> AlgoConfig {
+    AlgoConfig {
+        acq_restarts: 2,
+        acq_raw_samples: 16,
+        qei_samples: 48,
+        qei_restarts: 2,
+        qei_raw_samples: 8,
+        cost_model: CostModel::Fixed { per_call: 1.0 },
+        ..AlgoConfig::default()
+    }
+}
+
+/// Three cycles of each algorithm at q = 4 on Ackley-12d.
+fn bench_three_cycles_benchmarkfn(c: &mut Criterion) {
+    let problem = SyntheticFn::ackley(12);
+    let budget = Budget::cycles(3, 4).with_initial_samples(16);
+    let cfg = quick_cfg();
+    let mut g = c.benchmark_group("three_cycles_ackley12_q4");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in AlgorithmKind::paper_set() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_algorithm_with(k, &problem, &budget, cfg.clone(), 1).best_y())
+        });
+    }
+    g.finish();
+}
+
+/// Three cycles on the UPHES scheduling problem (includes simulator
+/// cost).
+fn bench_three_cycles_uphes(c: &mut Criterion) {
+    let problem = UphesProblem::maizeret(42);
+    let budget = Budget::cycles(3, 4).with_initial_samples(16);
+    let cfg = quick_cfg();
+    let mut g = c.benchmark_group("three_cycles_uphes_q4");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in [AlgorithmKind::MicQEgo, AlgorithmKind::Turbo] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_algorithm_with(k, &problem, &budget, cfg.clone(), 1).best_y())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_three_cycles_benchmarkfn, bench_three_cycles_uphes);
+criterion_main!(benches);

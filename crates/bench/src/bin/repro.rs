@@ -1,0 +1,496 @@
+#![allow(clippy::needless_range_loop)]
+
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <artifact> [--profile fast|paper|smoke] [--runs N]
+//!                  [--batches 1,2,4] [--minutes M] [--out DIR]
+//!
+//! artifacts: table1 table2 table3 table4 table5 table6 table7
+//!            fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!            baseline calibrate all
+//! ```
+
+use pbo_bench::grid::{run_seed, ProblemSpec, UPHES_DAY_SEED};
+use pbo_bench::profiles::Profile;
+use pbo_bench::report;
+use pbo_core::algorithms::{run_algorithm_with, AlgorithmKind};
+use pbo_core::budget::Stopping;
+use pbo_core::record::RunRecord;
+use pbo_problems::{random_search, Problem, UphesProblem};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+struct Opts {
+    artifact: String,
+    profile: Profile,
+    runs: Option<usize>,
+    batches: Option<Vec<usize>>,
+    minutes: Option<f64>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        artifact: args.first().cloned().unwrap_or_else(|| "help".into()),
+        profile: Profile::Fast,
+        runs: None,
+        batches: None,
+        minutes: None,
+        out: PathBuf::from("results"),
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                opts.profile = Profile::from_name(&args[i]).unwrap_or_else(|| {
+                    eprintln!("unknown profile '{}'", args[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--runs" => {
+                i += 1;
+                opts.runs = Some(args[i].parse().expect("--runs N"));
+            }
+            "--batches" => {
+                i += 1;
+                opts.batches = Some(
+                    args[i].split(',').map(|s| s.parse().expect("--batches q,q,…")).collect(),
+                );
+            }
+            "--minutes" => {
+                i += 1;
+                opts.minutes = Some(args[i].parse().expect("--minutes M"));
+            }
+            "--out" => {
+                i += 1;
+                opts.out = PathBuf::from(&args[i]);
+            }
+            other => {
+                eprintln!("unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn algo_names(set: &[AlgorithmKind]) -> Vec<&'static str> {
+    set.iter().map(|a| a.name()).collect()
+}
+
+/// Records of one grid: per (algorithm, batch size) cell.
+type GridRecords = HashMap<(AlgorithmKind, usize), Vec<RunRecord>>;
+
+/// Run the full (algorithm × batch) grid for one problem, reusing the
+/// same seeds across algorithms.
+fn run_grid(
+    spec: ProblemSpec,
+    opts: &Opts,
+) -> (Vec<usize>, Vec<AlgorithmKind>, GridRecords) {
+    let batches = opts.batches.clone().unwrap_or_else(|| opts.profile.batch_sizes());
+    let algos = AlgorithmKind::paper_set().to_vec();
+    let runs = opts.runs.unwrap_or_else(|| opts.profile.runs());
+    let problem = spec.build();
+    let cfg = opts.profile.algo_config();
+    let mut map = HashMap::new();
+    for &q in &batches {
+        let mut budget = opts.profile.budget(q);
+        if let Some(m) = opts.minutes {
+            budget.stopping = Stopping::VirtualTime(m * 60.0);
+        }
+        for &algo in &algos {
+            let t0 = std::time::Instant::now();
+            let recs: Vec<RunRecord> = (0..runs)
+                .map(|r| {
+                    run_algorithm_with(
+                        algo,
+                        problem.as_ref(),
+                        &budget,
+                        cfg.clone(),
+                        run_seed(spec, q, r),
+                    )
+                })
+                .collect();
+            let mean_cycles: f64 =
+                recs.iter().map(|r| r.n_cycles() as f64).sum::<f64>() / runs as f64;
+            eprintln!(
+                "[{}] q={q} {}: {runs} runs in {:.1}s wall, {:.0} cycles avg",
+                spec.name(),
+                algo.name(),
+                t0.elapsed().as_secs_f64(),
+                mean_cycles
+            );
+            map.insert((algo, q), recs);
+        }
+    }
+    (batches, algos, map)
+}
+
+fn benchmark_table(spec: ProblemSpec, title: &str, opts: &Opts) {
+    let (batches, algos, map) = run_grid(spec, opts);
+    let cells: Vec<Vec<pbo_core::stats::Summary>> = batches
+        .iter()
+        .map(|&q| algos.iter().map(|&a| report::summarize_final(&map[&(a, q)])).collect())
+        .collect();
+    let names = algo_names(&algos);
+    println!("{}", report::format_benchmark_table(title, &batches, &names, &cells));
+    let mut rows = Vec::new();
+    for (qi, &q) in batches.iter().enumerate() {
+        for (ai, _) in algos.iter().enumerate() {
+            let s = &cells[qi][ai];
+            rows.push(vec![q as f64, ai as f64, s.mean, s.sd, s.min, s.max]);
+        }
+    }
+    let path = opts.out.join(format!("{}_final.csv", spec.name()));
+    report::write_csv(&path, "q,algo_index,mean,sd,min,max", &rows).expect("write csv");
+    write_fig2_series(spec, &batches, &algos, &map, opts);
+}
+
+/// Per-problem evaluation counts (Fig. 2a–c share this with Fig. 9a).
+fn write_fig2_series(
+    spec: ProblemSpec,
+    batches: &[usize],
+    algos: &[AlgorithmKind],
+    map: &GridRecords,
+    opts: &Opts,
+) {
+    println!("## evaluations in budget ({})", spec.name());
+    println!("{:>8} {:>12} {:>14} {:>10}", "q", "algorithm", "sims(mean)", "sd");
+    let mut rows = Vec::new();
+    for (ai, &a) in algos.iter().enumerate() {
+        let per_q: Vec<Vec<RunRecord>> = batches.iter().map(|&q| map[&(a, q)].clone()).collect();
+        for (qi, (mean, sd)) in report::evals_by_batch(&per_q).into_iter().enumerate() {
+            println!("{:>8} {:>12} {:>14.1} {:>10.1}", batches[qi], a.name(), mean, sd);
+            rows.push(vec![batches[qi] as f64, ai as f64, mean, sd]);
+        }
+    }
+    let path = opts.out.join(format!("{}_evals_by_batch.csv", spec.name()));
+    report::write_csv(&path, "q,algo_index,sims_mean,sims_sd", &rows).expect("write csv");
+}
+
+fn uphes_artifacts(opts: &Opts, want: &str) {
+    let (batches, algos, map) = run_grid(ProblemSpec::Uphes, opts);
+    let names = algo_names(&algos);
+
+    if want == "table7" || want == "all" {
+        let cells: Vec<Vec<pbo_core::stats::Summary>> = batches
+            .iter()
+            .map(|&q| algos.iter().map(|&a| report::summarize_final(&map[&(a, q)])).collect())
+            .collect();
+        println!("{}", report::format_table7(&batches, &names, &cells));
+        let mut rows = Vec::new();
+        for (qi, &q) in batches.iter().enumerate() {
+            for (ai, _) in algos.iter().enumerate() {
+                let s = &cells[qi][ai];
+                rows.push(vec![q as f64, ai as f64, s.min, s.mean, s.max, s.sd]);
+            }
+        }
+        report::write_csv(&opts.out.join("table7_uphes.csv"), "q,algo_index,min,mean,max,sd", &rows)
+            .expect("write csv");
+    }
+
+    // Figs. 3–7: convergence traces for q = 1, 2, 4, 8, 16.
+    let fig_for_q = |q: usize| match q {
+        1 => "fig3",
+        2 => "fig4",
+        4 => "fig5",
+        8 => "fig6",
+        16 => "fig7",
+        _ => "figX",
+    };
+    for &q in &batches {
+        let fig = fig_for_q(q);
+        if want == fig || want == "all" {
+            println!("## {fig}: UPHES convergence, q = {q} (profit vs #sims)");
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for (ai, &a) in algos.iter().enumerate() {
+                let (mean, sd) = report::convergence_trace(&map[&(a, q)]);
+                println!(
+                    "{:>12}: start {:>8.0} -> end {:>8.0} (±{:.0}) over {} sims",
+                    a.name(),
+                    mean.first().copied().unwrap_or(f64::NAN),
+                    mean.last().copied().unwrap_or(f64::NAN),
+                    sd.last().copied().unwrap_or(f64::NAN),
+                    mean.len()
+                );
+                for (i, (m, s)) in mean.iter().zip(&sd).enumerate() {
+                    rows.push(vec![ai as f64, i as f64, *m, *s]);
+                }
+            }
+            report::write_csv(
+                &opts.out.join(format!("{fig}_uphes_q{q}_trace.csv")),
+                "algo_index,eval,profit_mean,profit_sd",
+                &rows,
+            )
+            .expect("write csv");
+        }
+    }
+
+    if want == "fig8" || want == "all" {
+        println!("## fig8: pairwise Welch t-test p-values (UPHES final profits)");
+        for &q in &batches {
+            let finals: Vec<Vec<f64>> =
+                algos.iter().map(|&a| report::final_values(&map[&(a, q)])).collect();
+            let p = report::pairwise_p_values(&finals);
+            println!("q = {q}");
+            println!("{}", report::format_p_matrix(&names, &p));
+            let mut rows = Vec::new();
+            for i in 0..p.len() {
+                for j in 0..p.len() {
+                    rows.push(vec![q as f64, i as f64, j as f64, p[i][j]]);
+                }
+            }
+            report::write_csv(
+                &opts.out.join(format!("fig8_pvalues_q{q}.csv")),
+                "q,algo_i,algo_j,p",
+                &rows,
+            )
+            .expect("write csv");
+        }
+    }
+
+    if want == "fig9" || want == "all" {
+        println!("## fig9: scalability (UPHES)");
+        println!("{:>8} {:>12} {:>12} {:>12}", "q", "algorithm", "sims", "cycles");
+        let mut rows = Vec::new();
+        for (ai, &a) in algos.iter().enumerate() {
+            let per_q: Vec<Vec<RunRecord>> =
+                batches.iter().map(|&q| map[&(a, q)].clone()).collect();
+            let sims = report::evals_by_batch(&per_q);
+            let cycles = report::cycles_by_batch(&per_q);
+            for (qi, &q) in batches.iter().enumerate() {
+                println!(
+                    "{:>8} {:>12} {:>12.1} {:>12.1}",
+                    q,
+                    a.name(),
+                    sims[qi].0,
+                    cycles[qi].0
+                );
+                rows.push(vec![
+                    q as f64,
+                    ai as f64,
+                    sims[qi].0,
+                    sims[qi].1,
+                    cycles[qi].0,
+                    cycles[qi].1,
+                ]);
+            }
+        }
+        report::write_csv(
+            &opts.out.join("fig9_scalability.csv"),
+            "q,algo_index,sims_mean,sims_sd,cycles_mean,cycles_sd",
+            &rows,
+        )
+        .expect("write csv");
+    }
+}
+
+fn static_tables(which: &str) {
+    match which {
+        "table1" => {
+            println!("# Table 1: benchmark definitions (12-d instances)");
+            for f in pbo_problems::SyntheticFn::paper_suite() {
+                println!(
+                    "{:<16} domain [{}, {}]^12  f_min = {}",
+                    f.name(),
+                    f.lower()[0],
+                    f.upper()[0],
+                    f.optimum().unwrap()
+                );
+                let v = f.eval(&f.minimizer());
+                println!("  check: f(x*) = {v:.3e}");
+            }
+        }
+        "table2" => {
+            println!("# Table 2: budget allocation");
+            println!("{:>8} | {:>24} | {:>24}", "n_batch", "initial sample (sims)", "sim budget (min)");
+            for q in [1usize, 2, 4, 8, 16] {
+                let b = pbo_core::budget::Budget::paper(q);
+                let mins = match b.stopping {
+                    Stopping::VirtualTime(t) => t / 60.0,
+                    Stopping::Cycles(_) => f64::NAN,
+                };
+                println!("{:>8} | {:>24} | {:>24}", q, b.initial_samples, mins);
+            }
+        }
+        "table3" => {
+            println!("# Table 3: acquisition function per algorithm and batch size");
+            println!(
+                "{:>8} | {:>8} | {:>12} | {:>10} | {:>14} | {:>8}",
+                "n_batch", "turbo", "mc-q-ego", "kb-q-ego", "mic-q-ego", "bsp-ego"
+            );
+            for q in [1usize, 2, 4, 8, 16] {
+                let multi = if q == 1 { "EI" } else { "qEI" };
+                let mic = if q == 1 { "EI" } else { "EI/UCB (50%)" };
+                println!(
+                    "{:>8} | {:>8} | {:>12} | {:>10} | {:>14} | {:>8}",
+                    q, multi, multi, "EI", mic, "EI"
+                );
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn baseline(opts: &Opts) {
+    // §4: best of ~12 000 uniform random samples on the UPHES problem.
+    let n = if opts.profile == Profile::Smoke { 1_000 } else { 12_000 };
+    let p = UphesProblem::maizeret(UPHES_DAY_SEED);
+    let r = random_search::random_search(&p, n, 99);
+    println!("# §4 random baseline: best of {n} uniform samples");
+    println!("best expected profit = {:.0} EUR", r.value);
+    let rows: Vec<Vec<f64>> = r
+        .trace
+        .iter()
+        .enumerate()
+        .step_by(50)
+        .map(|(i, v)| vec![i as f64, *v])
+        .collect();
+    report::write_csv(&opts.out.join("baseline_random.csv"), "eval,best_profit", &rows)
+        .expect("write csv");
+}
+
+fn calibrate(opts: &Opts) {
+    // Sanity-check OVERHEAD_SCALE: a q=1 run should complete on the
+    // order of 100 cycles (Fig. 9b shows ~105-115 for TuRBO, ~95-105
+    // for the q-EGO family).
+    println!("# calibration: cycles in 20 virtual minutes at q = 1");
+    let problem = ProblemSpec::Ackley.build();
+    let cfg = opts.profile.algo_config();
+    for algo in [AlgorithmKind::Turbo, AlgorithmKind::KbQEgo, AlgorithmKind::McQEgo] {
+        let budget = opts.profile.budget(1);
+        let t0 = std::time::Instant::now();
+        let r = run_algorithm_with(algo, problem.as_ref(), &budget, cfg.clone(), 4242);
+        println!(
+            "{:<10} -> {:>4} cycles ({:.1}s wall), time split fit/acq/sim = {:.0}/{:.0}/{:.0} s",
+            algo.name(),
+            r.n_cycles(),
+            t0.elapsed().as_secs_f64(),
+            r.time_split().0,
+            r.time_split().1,
+            r.time_split().2,
+        );
+    }
+}
+
+/// Ablation (DESIGN.md §5): KB fantasy value — posterior mean vs the
+/// two constant liars — on Ackley at q = 8, where batch diversity
+/// matters most.
+fn ablation_fantasy(opts: &Opts) {
+    use pbo_core::engine::FantasyKind;
+    let problem = ProblemSpec::Ackley.build();
+    let runs = opts.runs.unwrap_or(3);
+    let q = 8;
+    let budget = opts.profile.budget(q);
+    println!("# ablation: KB fantasy value (Ackley-12d, q = {q}, {runs} runs)");
+    println!("{:<18} | {:>10} | {:>10} | {:>8}", "fantasy", "mean", "sd", "cycles");
+    for (name, kind) in [
+        ("posterior-mean", FantasyKind::PosteriorMean),
+        ("constant-liar-min", FantasyKind::ConstantLiarMin),
+        ("constant-liar-max", FantasyKind::ConstantLiarMax),
+    ] {
+        let cfg = pbo_core::engine::AlgoConfig {
+            kb_fantasy: kind,
+            ..opts.profile.algo_config()
+        };
+        let recs: Vec<RunRecord> = (0..runs)
+            .map(|r| {
+                run_algorithm_with(
+                    AlgorithmKind::KbQEgo,
+                    problem.as_ref(),
+                    &budget,
+                    cfg.clone(),
+                    run_seed(ProblemSpec::Ackley, q, r),
+                )
+            })
+            .collect();
+        let s = report::summarize_final(&recs);
+        let cycles: f64 =
+            recs.iter().map(|r| r.n_cycles() as f64).sum::<f64>() / runs as f64;
+        println!("{name:<18} | {:>10.3} | {:>10.3} | {cycles:>8.0}", s.mean, s.sd);
+    }
+}
+
+/// Extension algorithms (paper §4/§5 future work) vs their parents.
+fn extensions(opts: &Opts) {
+    let problem = ProblemSpec::Schwefel.build();
+    let runs = opts.runs.unwrap_or(3);
+    let q = 4;
+    let budget = opts.profile.budget(q);
+    let cfg = opts.profile.algo_config();
+    println!("# extensions: Schwefel-12d, q = {q}, {runs} runs");
+    println!("{:<12} | {:>10} | {:>10} | {:>8} | {:>8}", "algorithm", "mean", "sd", "cycles", "sims");
+    let mut kinds = vec![AlgorithmKind::Turbo, AlgorithmKind::MicQEgo];
+    kinds.extend(AlgorithmKind::extension_set());
+    for kind in kinds {
+        let recs: Vec<RunRecord> = (0..runs)
+            .map(|r| {
+                run_algorithm_with(
+                    kind,
+                    problem.as_ref(),
+                    &budget,
+                    cfg.clone(),
+                    run_seed(ProblemSpec::Schwefel, q, r),
+                )
+            })
+            .collect();
+        let s = report::summarize_final(&recs);
+        let cycles: f64 =
+            recs.iter().map(|r| r.n_cycles() as f64).sum::<f64>() / runs as f64;
+        let sims: f64 =
+            recs.iter().map(|r| r.n_simulations() as f64).sum::<f64>() / runs as f64;
+        println!(
+            "{:<12} | {:>10.1} | {:>10.1} | {cycles:>8.0} | {sims:>8.0}",
+            kind.name(),
+            s.mean,
+            s.sd
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    match opts.artifact.as_str() {
+        "table1" | "table2" | "table3" => static_tables(&opts.artifact),
+        "table4" => benchmark_table(ProblemSpec::Rosenbrock, "Table 4: Rosenbrock final cost", &opts),
+        "table5" => benchmark_table(ProblemSpec::Ackley, "Table 5: Ackley final cost", &opts),
+        "table6" => benchmark_table(ProblemSpec::Schwefel, "Table 6: Schwefel final cost", &opts),
+        "table7" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" => {
+            uphes_artifacts(&opts, &opts.artifact)
+        }
+        // One UPHES grid, every UPHES artifact (Table 7, Figs. 3–9).
+        "uphes" => uphes_artifacts(&opts, "all"),
+        "fig2" => {
+            for spec in [ProblemSpec::Rosenbrock, ProblemSpec::Ackley, ProblemSpec::Schwefel] {
+                let (batches, algos, map) = run_grid(spec, &opts);
+                write_fig2_series(spec, &batches, &algos, &map, &opts);
+            }
+        }
+        "baseline" => baseline(&opts),
+        "calibrate" => calibrate(&opts),
+        "ablation" => ablation_fantasy(&opts),
+        "extensions" => extensions(&opts),
+        "all" => {
+            static_tables("table1");
+            static_tables("table2");
+            static_tables("table3");
+            benchmark_table(ProblemSpec::Rosenbrock, "Table 4: Rosenbrock final cost", &opts);
+            benchmark_table(ProblemSpec::Ackley, "Table 5: Ackley final cost", &opts);
+            benchmark_table(ProblemSpec::Schwefel, "Table 6: Schwefel final cost", &opts);
+            uphes_artifacts(&opts, "all");
+            baseline(&opts);
+        }
+        _ => {
+            eprintln!(
+                "usage: repro <table1..table7|fig2..fig9|baseline|calibrate|all> \
+                 [--profile fast|paper|smoke] [--runs N] [--batches 1,2,4] \
+                 [--minutes M] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![allow(clippy::needless_range_loop)]
+
+//! # pbo-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation from
+//! the workspace's own implementations:
+//!
+//! | Artifact | Command (`cargo run --release -p pbo-bench --bin repro -- …`) |
+//! |---|---|
+//! | Table 1  | `table1` |
+//! | Table 2  | `table2` |
+//! | Table 3  | `table3` |
+//! | Tables 4–6 | `table4` / `table5` / `table6` |
+//! | Table 7  | `table7` |
+//! | Fig. 2   | `fig2` |
+//! | Figs. 3–7 | `fig3` … `fig7` |
+//! | Fig. 8   | `fig8` |
+//! | Fig. 9   | `fig9` |
+//! | §4 baseline | `baseline` |
+//!
+//! Numeric results are printed as aligned text tables and also written
+//! as CSV under `results/`.
+
+pub mod grid;
+pub mod profiles;
+pub mod report;
+
+pub use grid::{run_cell, ProblemSpec};
+pub use profiles::Profile;

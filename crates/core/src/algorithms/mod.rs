@@ -1,0 +1,188 @@
+//! The five batch-acquisition PBO algorithms of the paper, plus the
+//! random-search baseline.
+//!
+//! All share the same [`crate::engine::Engine`] and differ only in how
+//! they build each cycle's batch — exactly the paper's framing ("the
+//! mentioned parallel algorithms follow the same scheme but differ in
+//! the candidate selection phase").
+//!
+//! | Algorithm | Acquisition process |
+//! |---|---|
+//! | [`kb_qego`]  | q × (EI maximization + Kriging-Believer fantasy conditioning) |
+//! | [`mic_qego`] | ⌈q/2⌉ × (EI **and** UCB on the same model + one conditioning) |
+//! | [`mc_qego`]  | joint q-point MC-EI over the q·d space |
+//! | [`bsp_ego`]  | 2q parallel local EI maximizations over a BSP partition |
+//! | [`turbo`]    | MC q-EI restricted to a lengthscale-shaped trust region |
+
+pub mod bsp_ego;
+pub mod kb_qego;
+pub mod mc_qego;
+pub mod mic_qego;
+pub mod mic_turbo;
+pub mod random;
+pub mod thompson;
+pub mod turbo;
+
+use crate::budget::Budget;
+use crate::engine::AlgoConfig;
+use crate::record::RunRecord;
+use pbo_opt::lbfgs::LbfgsConfig;
+use pbo_opt::multistart::MultistartConfig;
+use pbo_problems::Problem;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Kriging-Believer q-EGO (Ginsbourger et al. 2008).
+    KbQEgo,
+    /// Multi-infill-criteria q-EGO (this paper's variant).
+    MicQEgo,
+    /// Monte-Carlo q-EGO (Balandat et al. 2020, BoTorch).
+    McQEgo,
+    /// Binary-space-partitioning EGO (Gobert et al. 2020).
+    BspEgo,
+    /// Trust-region BO (Eriksson et al. 2019).
+    Turbo,
+    /// Uniform random search baseline.
+    RandomSearch,
+    /// Extension: Thompson-sampling batch acquisition (paper §2.2's
+    /// information-based family; no inner optimization).
+    ThompsonSampling,
+    /// Extension: multi-infill criteria inside a trust region — the
+    /// combination the paper's discussion proposes as future work.
+    MicTurbo,
+}
+
+impl AlgorithmKind {
+    /// Stable display name (matches the paper's labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::KbQEgo => "kb-q-ego",
+            AlgorithmKind::MicQEgo => "mic-q-ego",
+            AlgorithmKind::McQEgo => "mc-q-ego",
+            AlgorithmKind::BspEgo => "bsp-ego",
+            AlgorithmKind::Turbo => "turbo",
+            AlgorithmKind::RandomSearch => "random",
+            AlgorithmKind::ThompsonSampling => "thompson",
+            AlgorithmKind::MicTurbo => "mic-turbo",
+        }
+    }
+
+    /// The five algorithms compared in the paper (Tables 4–7), in the
+    /// paper's column order.
+    pub fn paper_set() -> [AlgorithmKind; 5] {
+        [
+            AlgorithmKind::Turbo,
+            AlgorithmKind::KbQEgo,
+            AlgorithmKind::MicQEgo,
+            AlgorithmKind::McQEgo,
+            AlgorithmKind::BspEgo,
+        ]
+    }
+
+    /// Parse a display name.
+    pub fn from_name(s: &str) -> Option<AlgorithmKind> {
+        Some(match s {
+            "kb-q-ego" => AlgorithmKind::KbQEgo,
+            "mic-q-ego" => AlgorithmKind::MicQEgo,
+            "mc-q-ego" => AlgorithmKind::McQEgo,
+            "bsp-ego" => AlgorithmKind::BspEgo,
+            "turbo" => AlgorithmKind::Turbo,
+            "random" => AlgorithmKind::RandomSearch,
+            "thompson" => AlgorithmKind::ThompsonSampling,
+            "mic-turbo" => AlgorithmKind::MicTurbo,
+            _ => return None,
+        })
+    }
+
+    /// The extension algorithms built on top of the paper's five
+    /// (future-work directions the paper names explicitly).
+    pub fn extension_set() -> [AlgorithmKind; 2] {
+        [AlgorithmKind::ThompsonSampling, AlgorithmKind::MicTurbo]
+    }
+}
+
+/// Run an algorithm with the default configuration.
+pub fn run_algorithm(
+    kind: AlgorithmKind,
+    problem: &dyn Problem,
+    budget: &Budget,
+    seed: u64,
+) -> RunRecord {
+    run_algorithm_with(kind, problem, budget, AlgoConfig::default(), seed)
+}
+
+/// Run an algorithm with an explicit configuration.
+pub fn run_algorithm_with(
+    kind: AlgorithmKind,
+    problem: &dyn Problem,
+    budget: &Budget,
+    cfg: AlgoConfig,
+    seed: u64,
+) -> RunRecord {
+    match kind {
+        AlgorithmKind::KbQEgo => kb_qego::run(problem, *budget, cfg, seed),
+        AlgorithmKind::MicQEgo => mic_qego::run(problem, *budget, cfg, seed),
+        AlgorithmKind::McQEgo => mc_qego::run(problem, *budget, cfg, seed),
+        AlgorithmKind::BspEgo => bsp_ego::run(problem, *budget, cfg, seed),
+        AlgorithmKind::Turbo => turbo::run(problem, *budget, cfg, seed),
+        AlgorithmKind::RandomSearch => random::run(problem, *budget, cfg, seed),
+        AlgorithmKind::ThompsonSampling => thompson::run(problem, *budget, cfg, seed),
+        AlgorithmKind::MicTurbo => mic_turbo::run(problem, *budget, cfg, seed),
+    }
+}
+
+/// Multistart settings for single-point acquisition maximization,
+/// derived from the algorithm config.
+pub fn acq_multistart(cfg: &AlgoConfig, seed: u64) -> MultistartConfig {
+    MultistartConfig {
+        raw_samples: cfg.acq_raw_samples,
+        restarts: cfg.acq_restarts,
+        lbfgs: LbfgsConfig { max_iters: 40, ..LbfgsConfig::default() },
+        seed,
+    }
+}
+
+/// Multistart settings for the joint q-EI optimization.
+pub fn qei_multistart(cfg: &AlgoConfig, seed: u64) -> MultistartConfig {
+    MultistartConfig {
+        raw_samples: cfg.qei_raw_samples,
+        restarts: cfg.qei_restarts,
+        lbfgs: LbfgsConfig { max_iters: 30, ..LbfgsConfig::default() },
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in [
+            AlgorithmKind::KbQEgo,
+            AlgorithmKind::MicQEgo,
+            AlgorithmKind::McQEgo,
+            AlgorithmKind::BspEgo,
+            AlgorithmKind::Turbo,
+            AlgorithmKind::RandomSearch,
+            AlgorithmKind::ThompsonSampling,
+            AlgorithmKind::MicTurbo,
+        ] {
+            assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(AlgorithmKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_set_has_five_distinct() {
+        let set = AlgorithmKind::paper_set();
+        assert_eq!(set.len(), 5);
+        for i in 0..5 {
+            for j in 0..i {
+                assert_ne!(set[i], set[j]);
+            }
+        }
+        assert!(!set.contains(&AlgorithmKind::RandomSearch));
+    }
+}

@@ -1,0 +1,87 @@
+//! TuRBO (Eriksson et al. 2019) with a single trust region, as used in
+//! the paper.
+//!
+//! Per cycle: fit the model, shape the trust region around the
+//! incumbent using the ARD lengthscales, maximize MC q-EI (plain EI at
+//! q = 1) **inside the region**, evaluate, and update the region —
+//! expand on improvement streaks, shrink on failure streaks, restart on
+//! collapse. The restricted inner search space is why TuRBO's
+//! acquisition is the fastest of the five (paper §3.1).
+
+use super::{acq_multistart, qei_multistart};
+use crate::budget::Budget;
+use crate::clock::TimeCategory;
+use crate::engine::{AlgoConfig, Engine};
+use crate::record::RunRecord;
+use crate::trust_region::{TrustRegion, TrustRegionConfig};
+use pbo_acq::mc::{optimize_qei, QExpectedImprovement};
+use pbo_acq::single::{optimize_single, ExpectedImprovement};
+use pbo_problems::Problem;
+
+/// Run TuRBO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let mut e = Engine::new(problem, budget, cfg, seed, "turbo");
+    let mut tr = TrustRegion::new(TrustRegionConfig::default());
+
+    while e.should_continue() {
+        e.fit_model();
+        let q = e.q();
+        let cfg = e.cfg().clone();
+        let acq_seed = e.seeds().fork(0xACC).next_seed();
+        let gp = e.gp().clone();
+        let f_best_min = e.best_min();
+        let center = e.best_x_unit();
+        let region = tr.bounds(&center, &gp.kernel().lengthscales);
+
+        let mut batch = e.clock().charge(TimeCategory::Acquisition, || {
+            if q == 1 {
+                let ei = ExpectedImprovement { f_best: f_best_min };
+                let ms = acq_multistart(&cfg, acq_seed);
+                vec![optimize_single(&gp, &ei, &region, &[], &ms).x]
+            } else {
+                let qei =
+                    QExpectedImprovement::new(f_best_min, q, cfg.qei_samples, acq_seed ^ 0x7B);
+                let ms = qei_multistart(&cfg, acq_seed);
+                optimize_qei(&gp, &qei, &region, &[], &ms).0
+            }
+        });
+        e.sanitize_batch(&mut batch);
+        e.commit_batch(batch);
+
+        let improved = e.best_min() < f_best_min - 1e-12 * (1.0 + f_best_min.abs());
+        tr.update(improved);
+    }
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_problems::SyntheticFn;
+
+    #[test]
+    fn runs_to_cycle_budget() {
+        let p = SyntheticFn::ackley(3);
+        let budget = Budget::cycles(4, 2).with_initial_samples(8);
+        let r = run(&p, budget, AlgoConfig::test_profile(), 2);
+        assert_eq!(r.n_cycles(), 4);
+        assert_eq!(r.n_simulations(), 8 + 8);
+    }
+
+    #[test]
+    fn improves_over_initial_design() {
+        let p = SyntheticFn::ackley(3);
+        let budget = Budget::cycles(5, 2).with_initial_samples(10);
+        let r = run(&p, budget, AlgoConfig::test_profile(), 4);
+        let doe_best: f64 = r.y_min[..10].iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(r.best_y() <= doe_best);
+    }
+
+    #[test]
+    fn q1_path_works() {
+        let p = SyntheticFn::rosenbrock(3);
+        let budget = Budget::cycles(3, 1).with_initial_samples(8);
+        let r = run(&p, budget, AlgoConfig::test_profile(), 6);
+        assert_eq!(r.n_simulations(), 11);
+    }
+}

@@ -1,0 +1,114 @@
+//! Budget allocation — Table 2 of the paper.
+//!
+//! The limiting resource is (virtual) wall-clock time: 20 minutes of
+//! optimization after an initial design of `16 × n_batch` simulations
+//! (the DoE is *excluded* from the 20-minute budget, as in the paper,
+//! whose total run duration is "around 25 min, initial sampling
+//! included"). Each simulation costs a fixed 10 s; parallel batch
+//! dispatch adds a small software overhead, which the paper observes to
+//! be non-negligible for its licensed simulator.
+
+/// Stopping rule of an optimization run.
+#[derive(Debug, Clone, Copy)]
+pub enum Stopping {
+    /// Stop when virtual time reaches this many seconds (paper mode).
+    VirtualTime(f64),
+    /// Stop after this many cycles (deterministic; for tests/examples).
+    Cycles(usize),
+}
+
+/// Full budget description.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Batch size `q` = parallel workers.
+    pub batch_size: usize,
+    /// Stopping rule.
+    pub stopping: Stopping,
+    /// Initial design size (Table 2: `16 × q`).
+    pub initial_samples: usize,
+    /// Virtual cost of one simulation \[seconds\].
+    pub sim_seconds: f64,
+    /// Flat dispatch overhead charged per parallel batch \[seconds\].
+    pub dispatch_overhead: f64,
+    /// Extra dispatch overhead per batch element \[seconds\] (the paper's
+    /// licensed-executable interfacing cost grows with the batch).
+    pub dispatch_overhead_per_point: f64,
+}
+
+impl Budget {
+    /// The paper's protocol for batch size `q`: 20 virtual minutes,
+    /// 10 s simulations, `16q` initial samples.
+    pub fn paper(q: usize) -> Self {
+        assert!(q >= 1);
+        Budget {
+            batch_size: q,
+            stopping: Stopping::VirtualTime(20.0 * 60.0),
+            initial_samples: 16 * q,
+            sim_seconds: 10.0,
+            dispatch_overhead: 0.5,
+            dispatch_overhead_per_point: 0.05,
+        }
+    }
+
+    /// Cycle-bounded budget (tests and examples).
+    pub fn cycles(n_cycles: usize, q: usize) -> Self {
+        Budget {
+            batch_size: q,
+            stopping: Stopping::Cycles(n_cycles),
+            initial_samples: 16 * q,
+            sim_seconds: 10.0,
+            dispatch_overhead: 0.5,
+            dispatch_overhead_per_point: 0.05,
+        }
+    }
+
+    /// Shrink the initial design (used by fast test profiles).
+    pub fn with_initial_samples(mut self, n: usize) -> Self {
+        self.initial_samples = n.max(4);
+        self
+    }
+
+    /// Virtual time consumed by one parallel batch evaluation.
+    pub fn batch_sim_time(&self, batch_len: usize) -> f64 {
+        self.sim_seconds
+            + self.dispatch_overhead
+            + self.dispatch_overhead_per_point * batch_len as f64
+    }
+
+    /// The theoretical maximum number of cycles under a virtual-time
+    /// stopping rule (ignoring all surrogate overhead) — 120 in the
+    /// paper's setting.
+    pub fn max_cycles(&self) -> Option<usize> {
+        match self.stopping {
+            Stopping::VirtualTime(t) => Some((t / self.sim_seconds).floor() as usize),
+            Stopping::Cycles(n) => Some(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_matches_table2() {
+        for q in [1usize, 2, 4, 8, 16] {
+            let b = Budget::paper(q);
+            assert_eq!(b.initial_samples, 16 * q);
+            assert!(matches!(b.stopping, Stopping::VirtualTime(t) if (t - 1200.0).abs() < 1e-9));
+            assert_eq!(b.sim_seconds, 10.0);
+        }
+    }
+
+    #[test]
+    fn max_cycles_is_120_in_paper_mode() {
+        assert_eq!(Budget::paper(4).max_cycles(), Some(120));
+    }
+
+    #[test]
+    fn batch_time_grows_with_batch() {
+        let b = Budget::paper(8);
+        assert!(b.batch_sim_time(8) > b.batch_sim_time(1));
+        assert!(b.batch_sim_time(1) >= b.sim_seconds);
+    }
+}

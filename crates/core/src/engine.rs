@@ -1,0 +1,486 @@
+//! Shared BO-loop machinery: normalization, dataset, model management,
+//! time accounting and run recording.
+//!
+//! Every algorithm drives the same [`Engine`]:
+//!
+//! 1. `Engine::new` draws the Latin-hypercube initial design — from a
+//!    seed stream that depends only on the run seed, **not** on the
+//!    algorithm, so all five algorithms start from identical initial
+//!    sets (the paper's protocol) — and evaluates it outside the timed
+//!    budget (Table 2 excludes the DoE from the 20 minutes);
+//! 2. each cycle calls [`Engine::fit_model`] (charged as fitting time),
+//!    builds a batch through its acquisition process (charged as
+//!    acquisition time, inside `clock().charge(..)`), and commits it
+//!    with [`Engine::commit_batch`] (charged the fixed virtual
+//!    simulation cost);
+//! 3. [`Engine::should_continue`] implements the stopping rule, and
+//!    [`Engine::finish`] emits the [`RunRecord`].
+//!
+//! Internally everything is minimized over the unit cube; the problem's
+//! native orientation and box are restored at the record boundary.
+
+use crate::budget::{Budget, Stopping};
+use crate::clock::{CostModel, TimeCategory, VirtualClock};
+use crate::exec::evaluate_batch;
+use crate::record::{CycleRecord, RunRecord};
+use pbo_gp::{fit, FitConfig, GaussianProcess};
+use pbo_linalg::Matrix;
+use pbo_opt::Bounds;
+use pbo_problems::Problem;
+use pbo_sampling::{lhs, SeedStream};
+use rand::Rng;
+
+/// How the Kriging-Believer loop fills in not-yet-simulated values
+/// (Ginsbourger et al. discuss all three; the paper uses the believer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FantasyKind {
+    /// Believe the posterior mean (the paper's KB heuristic).
+    PosteriorMean,
+    /// Constant liar with the incumbent best (optimistic; clusters).
+    ConstantLiarMin,
+    /// Constant liar with the worst observation (pessimistic; spreads).
+    ConstantLiarMax,
+}
+
+/// Algorithm-level configuration shared by all five methods.
+#[derive(Debug, Clone)]
+pub struct AlgoConfig {
+    /// GP hyperparameter fitting settings.
+    pub fit: FitConfig,
+    /// Run a full multistart fit every k cycles; warm-start refits in
+    /// between (the paper reduces intermediate fitting budgets).
+    pub full_fit_every: usize,
+    /// Multistart restarts for single-point acquisition optimization.
+    pub acq_restarts: usize,
+    /// Raw Sobol samples scored before acquisition restarts.
+    pub acq_raw_samples: usize,
+    /// qMC base samples for Monte-Carlo q-EI.
+    pub qei_samples: usize,
+    /// Restarts for the joint q-EI optimization.
+    pub qei_restarts: usize,
+    /// Raw samples for the joint q-EI optimization.
+    pub qei_raw_samples: usize,
+    /// UCB exploration weight (mic-q-EGO's second criterion).
+    pub ucb_beta: f64,
+    /// BSP-EGO: number of sub-regions as a multiple of q (paper: 2).
+    pub bsp_cells_factor: usize,
+    /// Fantasy value used by the KB/mic sequential loops.
+    pub kb_fantasy: FantasyKind,
+    /// Thompson sampling (extension algorithm): discrete candidate-set
+    /// size per cycle.
+    pub thompson_candidates: usize,
+    /// Virtual-clock cost model.
+    pub cost_model: CostModel,
+}
+
+impl Default for AlgoConfig {
+    fn default() -> Self {
+        AlgoConfig {
+            fit: FitConfig { restarts: 2, max_iters: 40, warm_iters: 12, ..FitConfig::default() },
+            full_fit_every: 10,
+            acq_restarts: 6,
+            acq_raw_samples: 64,
+            qei_samples: 128,
+            qei_restarts: 4,
+            qei_raw_samples: 32,
+            ucb_beta: std::f64::consts::SQRT_2,
+            bsp_cells_factor: 2,
+            kb_fantasy: FantasyKind::PosteriorMean,
+            thompson_candidates: 512,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// Deterministic test profile: fixed per-call virtual costs and
+    /// small fitting budgets.
+    pub fn test_profile() -> Self {
+        AlgoConfig {
+            fit: FitConfig { restarts: 0, max_iters: 12, warm_iters: 6, ..FitConfig::default() },
+            acq_restarts: 2,
+            acq_raw_samples: 16,
+            qei_samples: 48,
+            qei_restarts: 2,
+            qei_raw_samples: 8,
+            cost_model: CostModel::Fixed { per_call: 1.0 },
+            ..AlgoConfig::default()
+        }
+    }
+}
+
+/// The shared optimization context.
+pub struct Engine<'a> {
+    problem: &'a dyn Problem,
+    budget: Budget,
+    cfg: AlgoConfig,
+    clock: VirtualClock,
+    seeds: SeedStream,
+    algorithm: String,
+    /// Unit-cube inputs (rows).
+    x: Matrix,
+    /// Minimization-oriented targets.
+    y: Vec<f64>,
+    gp: Option<GaussianProcess>,
+    cycles: Vec<CycleRecord>,
+    /// Clock split snapshot at the start of the current cycle.
+    cycle_start_split: (f64, f64, f64),
+    cycle_idx: usize,
+    seed: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Create the engine and evaluate the initial design (untimed).
+    pub fn new(
+        problem: &'a dyn Problem,
+        budget: Budget,
+        cfg: AlgoConfig,
+        seed: u64,
+        algorithm: &str,
+    ) -> Self {
+        let d = problem.dim();
+        let root = SeedStream::new(seed);
+        // The DoE stream must not depend on the algorithm: the paper
+        // hands the same 10 initial sets to every method.
+        let mut doe_seeds = root.fork_named("doe");
+        let n0 = budget.initial_samples.max(2);
+        let unit_pts = lhs::maximin_latin_hypercube(&mut doe_seeds.rng(), n0, d, 4);
+        let native: Vec<Vec<f64>> = unit_pts
+            .iter()
+            .map(|u| {
+                let mut x = u.clone();
+                pbo_sampling::scale_to_box(&mut x, problem.lower(), problem.upper());
+                x
+            })
+            .collect();
+        let y = evaluate_batch(problem, &native);
+        let mut x = Matrix::zeros(0, d);
+        for u in &unit_pts {
+            x.push_row(u).expect("DoE width");
+        }
+        let clock = VirtualClock::new(cfg.cost_model);
+        Engine {
+            problem,
+            budget,
+            cfg,
+            clock,
+            seeds: root.fork_named(algorithm),
+            algorithm: algorithm.to_string(),
+            x,
+            y,
+            gp: None,
+            cycles: Vec::new(),
+            cycle_start_split: (0.0, 0.0, 0.0),
+            cycle_idx: 0,
+            seed,
+        }
+    }
+
+    /// The algorithm configuration.
+    pub fn cfg(&self) -> &AlgoConfig {
+        &self.cfg
+    }
+
+    /// The budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Batch size q.
+    pub fn q(&self) -> usize {
+        self.budget.batch_size
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.problem.dim()
+    }
+
+    /// Unit-cube bounds of the (normalized) search space.
+    pub fn unit_bounds(&self) -> Bounds {
+        Bounds::unit(self.dim())
+    }
+
+    /// Mutable access to the virtual clock (acquisition charging).
+    pub fn clock(&mut self) -> &mut VirtualClock {
+        &mut self.clock
+    }
+
+    /// Per-run seed stream (fork, don't consume directly, for
+    /// reproducible per-component randomness).
+    pub fn seeds(&mut self) -> &mut SeedStream {
+        &mut self.seeds
+    }
+
+    /// Number of observations so far.
+    pub fn n_data(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Index of the current (not-yet-committed) cycle.
+    pub fn cycle_index(&self) -> usize {
+        self.cycle_idx
+    }
+
+    /// Best (smallest) observed minimized value.
+    pub fn best_min(&self) -> f64 {
+        self.y.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Unit-cube location of the incumbent.
+    pub fn best_x_unit(&self) -> Vec<f64> {
+        let i = pbo_linalg::vec_ops::argmin(&self.y).expect("non-empty data");
+        self.x.row(i).to_vec()
+    }
+
+    /// All observations (unit inputs, minimized outputs).
+    pub fn data(&self) -> (&Matrix, &[f64]) {
+        (&self.x, &self.y)
+    }
+
+    /// The current GP (must be fitted first).
+    pub fn gp(&self) -> &GaussianProcess {
+        self.gp.as_ref().expect("fit_model must be called before gp()")
+    }
+
+    /// True while the stopping rule allows another cycle.
+    pub fn should_continue(&self) -> bool {
+        match self.budget.stopping {
+            Stopping::VirtualTime(t) => self.clock.now() < t,
+            Stopping::Cycles(n) => self.cycle_idx < n,
+        }
+    }
+
+    /// Mark the start of a cycle for time attribution. Called by
+    /// [`Engine::fit_model`]; algorithms that skip fitting (random
+    /// search) call it directly.
+    pub fn begin_cycle(&mut self) {
+        self.cycle_start_split = self.clock.split();
+    }
+
+    /// Fit or refit the surrogate, charged as fitting time. Full
+    /// multistart fits happen on the first cycle and every
+    /// `full_fit_every`-th one; other cycles warm-start from the current
+    /// hyperparameters with the reduced budget.
+    pub fn fit_model(&mut self) {
+        self.begin_cycle();
+        let full = self.gp.is_none() || self.cycle_idx.is_multiple_of(self.cfg.full_fit_every);
+        let cfg = self.cfg.fit.clone();
+        let x = self.x.clone();
+        let y = self.y.clone();
+        let prev = self.gp.take();
+        let mut seeds = self.seeds.fork(0xF17 + self.cycle_idx as u64);
+        let gp = self.clock.charge(TimeCategory::Fit, || {
+            if full {
+                let warm = prev.as_ref().map(|g| (g.kernel().clone(), g.noise()));
+                fit::fit(&x, &y, &cfg, warm.as_ref().map(|(k, n)| (k, *n)), &mut seeds)
+                    .map(|(g, _)| g)
+            } else {
+                let prev = prev.as_ref().expect("warm refit requires a model");
+                // Rebuild on the full data with the previous hypers, then
+                // take a few warm L-BFGS steps.
+                GaussianProcess::new(x.clone(), &y, prev.kernel().clone(), prev.noise())
+                    .and_then(|g| fit::refit_warm(&g, &cfg, &mut seeds).map(|(g, _)| g))
+            }
+        });
+        match gp {
+            Ok(g) => self.gp = Some(g),
+            Err(_) => {
+                // Last-resort fallback: default kernel, larger noise.
+                let kernel =
+                    pbo_gp::kernel::Kernel::new(cfg.family, self.x.cols());
+                self.gp = Some(
+                    GaussianProcess::new(self.x.clone(), &self.y, kernel, 1e-2)
+                        .expect("fallback GP must build"),
+                );
+            }
+        }
+    }
+
+    /// Replace batch entries that duplicate existing data or each other
+    /// with random exploration points (numerical safety: exact
+    /// duplicates make the kernel matrix singular and carry no
+    /// information anyway).
+    pub fn sanitize_batch(&mut self, batch: &mut [Vec<f64>]) {
+        let mut rng = self.seeds.fork(0xDED + self.cycle_idx as u64).rng();
+        let d = self.dim();
+        for i in 0..batch.len() {
+            let mut dup = false;
+            for j in 0..self.x.rows() {
+                if close(&batch[i], self.x.row(j)) {
+                    dup = true;
+                    break;
+                }
+            }
+            if !dup {
+                for j in 0..i {
+                    if close(&batch[i], &batch[j]) {
+                        dup = true;
+                        break;
+                    }
+                }
+            }
+            if dup {
+                batch[i] = (0..d).map(|_| rng.gen::<f64>()).collect();
+            }
+        }
+    }
+
+    /// Evaluate a batch (parallel), charge the virtual simulation time,
+    /// append to the dataset and close the cycle record.
+    pub fn commit_batch(&mut self, batch: Vec<Vec<f64>>) {
+        assert!(!batch.is_empty(), "cannot commit an empty batch");
+        let native: Vec<Vec<f64>> = batch
+            .iter()
+            .map(|u| {
+                let mut x = u.clone();
+                pbo_sampling::scale_to_box(&mut x, self.problem.lower(), self.problem.upper());
+                x
+            })
+            .collect();
+        let ys = evaluate_batch(self.problem, &native);
+        self.clock
+            .charge_virtual(TimeCategory::Simulation, self.budget.batch_sim_time(batch.len()));
+        for (u, y) in batch.iter().zip(&ys) {
+            self.x.push_row(u).expect("batch width");
+            self.y.push(*y);
+        }
+        let (f0, a0, s0) = self.cycle_start_split;
+        let (f1, a1, s1) = self.clock.split();
+        self.cycles.push(CycleRecord {
+            cycle: self.cycle_idx,
+            fit_time: f1 - f0,
+            acq_time: a1 - a0,
+            sim_time: s1 - s0,
+            n_evals: batch.len(),
+            best_y_min: self.best_min(),
+            clock: self.clock.now(),
+        });
+        self.cycle_idx += 1;
+    }
+
+    /// Close the run and emit its record.
+    pub fn finish(self) -> RunRecord {
+        let best_x = {
+            let mut u = self.best_x_unit();
+            pbo_sampling::scale_to_box(&mut u, self.problem.lower(), self.problem.upper());
+            u
+        };
+        RunRecord {
+            best_x,
+            algorithm: self.algorithm,
+            problem: self.problem.name().to_string(),
+            maximize: self.problem.maximize(),
+            batch_size: self.budget.batch_size,
+            seed: self.seed,
+            doe_size: self.budget.initial_samples.max(2),
+            y_min: self.y,
+            cycles: self.cycles,
+            final_clock: self.clock.now(),
+        }
+    }
+}
+
+/// Coordinate-wise closeness test for duplicate detection.
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_problems::SyntheticFn;
+
+    fn engine_for_test<'a>(p: &'a SyntheticFn, q: usize) -> Engine<'a> {
+        let budget = Budget::cycles(3, q).with_initial_samples(8);
+        Engine::new(p, budget, AlgoConfig::test_profile(), 42, "test")
+    }
+
+    #[test]
+    fn doe_is_algorithm_independent() {
+        let p = SyntheticFn::ackley(4);
+        let budget = Budget::cycles(1, 2).with_initial_samples(8);
+        let a = Engine::new(&p, budget, AlgoConfig::test_profile(), 7, "alg-a");
+        let b = Engine::new(&p, budget, AlgoConfig::test_profile(), 7, "alg-b");
+        assert_eq!(a.data().0.as_slice(), b.data().0.as_slice());
+        assert_eq!(a.data().1, b.data().1);
+        // Different seeds → different DoEs.
+        let c = Engine::new(&p, budget, AlgoConfig::test_profile(), 8, "alg-a");
+        assert_ne!(a.data().0.as_slice(), c.data().0.as_slice());
+    }
+
+    #[test]
+    fn fit_and_commit_cycle_accounting() {
+        let p = SyntheticFn::ackley(3);
+        let mut e = engine_for_test(&p, 2);
+        assert_eq!(e.n_data(), 8);
+        e.fit_model();
+        let batch = vec![vec![0.3, 0.3, 0.3], vec![0.7, 0.2, 0.9]];
+        e.commit_batch(batch);
+        assert_eq!(e.n_data(), 10);
+        let r = e.finish();
+        assert_eq!(r.n_cycles(), 1);
+        assert_eq!(r.cycles[0].n_evals, 2);
+        // Fixed cost model: fit = 1s, sim = 10 + 0.5 + 0.1.
+        assert!((r.cycles[0].fit_time - 1.0).abs() < 1e-9);
+        assert!((r.cycles[0].sim_time - 10.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopping_by_cycles() {
+        let p = SyntheticFn::ackley(3);
+        let mut e = engine_for_test(&p, 1);
+        let mut cycles = 0;
+        while e.should_continue() {
+            e.fit_model();
+            e.commit_batch(vec![vec![0.5, 0.5, 0.5 + 0.01 * cycles as f64]]);
+            cycles += 1;
+        }
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    fn stopping_by_virtual_time() {
+        let p = SyntheticFn::ackley(3);
+        let budget = Budget {
+            stopping: Stopping::VirtualTime(25.0),
+            ..Budget::cycles(0, 1)
+        }
+        .with_initial_samples(6);
+        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 1, "t");
+        let mut cycles = 0;
+        while e.should_continue() {
+            e.fit_model();
+            e.commit_batch(vec![vec![0.1 * cycles as f64, 0.5, 0.5]]);
+            cycles += 1;
+        }
+        // Each cycle costs 1 (fit) + 10.55 (sim) ≈ 11.55 → 3 cycles pass
+        // the 25 s mark (stop checked before the cycle).
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    fn sanitize_replaces_duplicates() {
+        let p = SyntheticFn::ackley(3);
+        let mut e = engine_for_test(&p, 2);
+        let existing = e.data().0.row(0).to_vec();
+        let mut batch = vec![existing.clone(), existing.clone()];
+        e.sanitize_batch(&mut batch);
+        assert!(!close(&batch[0], &existing));
+        assert!(!close(&batch[1], &existing));
+        assert!(!close(&batch[0], &batch[1]));
+    }
+
+    #[test]
+    fn best_tracking() {
+        let p = SyntheticFn::ackley(3);
+        let mut e = engine_for_test(&p, 1);
+        let before = e.best_min();
+        e.fit_model();
+        // Commit the known global minimizer (in unit coords: 0 maps to
+        // lower bound −5 … so unit for x=0 is 1/3).
+        e.commit_batch(vec![vec![1.0 / 3.0; 3]]);
+        assert!(e.best_min() < before);
+        assert!(e.best_min() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+//! Parallel batch evaluation — the MPI4Py worker pool of the paper,
+//! as a crossbeam scoped-thread fan-out.
+//!
+//! The candidates of one cycle are evaluated concurrently, one worker
+//! per candidate (the paper maps one MPI rank per batch element). The
+//! virtual clock is charged by the *engine* (fixed 10 s + dispatch
+//! overhead), not here: this module only runs the real Rust simulator,
+//! whose actual speed is irrelevant to the protocol.
+
+use pbo_problems::{eval_min, Problem};
+
+/// Evaluate each point with the problem, in parallel when the batch has
+/// more than one element. Returns minimization-oriented values.
+pub fn evaluate_batch(problem: &dyn Problem, points: &[Vec<f64>]) -> Vec<f64> {
+    match points.len() {
+        0 => Vec::new(),
+        1 => vec![eval_min(problem, &points[0])],
+        _ => {
+            let mut out = vec![0.0f64; points.len()];
+            crossbeam::thread::scope(|s| {
+                for (slot, p) in out.iter_mut().zip(points) {
+                    s.spawn(move |_| {
+                        *slot = eval_min(problem, p);
+                    });
+                }
+            })
+            .expect("evaluation worker panicked");
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_problems::SyntheticFn;
+
+    #[test]
+    fn matches_sequential_evaluation() {
+        let p = SyntheticFn::ackley(5);
+        let pts: Vec<Vec<f64>> = (0..7)
+            .map(|i| (0..5).map(|j| (i * 5 + j) as f64 * 0.1 - 1.0).collect())
+            .collect();
+        let par = evaluate_batch(&p, &pts);
+        for (v, x) in par.iter().zip(&pts) {
+            assert_eq!(*v, p.eval(x));
+        }
+    }
+
+    #[test]
+    fn flips_sign_for_maximizers() {
+        let p = pbo_problems::UphesProblem::maizeret(2);
+        let pts = vec![vec![0.45; 12], vec![0.2; 12]];
+        let vals = evaluate_batch(&p, &pts);
+        assert_eq!(vals[0], -p.eval(&pts[0]));
+        assert_eq!(vals[1], -p.eval(&pts[1]));
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let p = SyntheticFn::ackley(3);
+        assert!(evaluate_batch(&p, &[]).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Run records: everything the bench harness needs to rebuild the
+//! paper's tables and figures from a set of optimization runs.
+
+use serde::{Deserialize, Serialize};
+
+/// One optimization cycle's bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Cycle index (0-based; the initial design is cycle-less).
+    pub cycle: usize,
+    /// Virtual seconds spent fitting the surrogate this cycle.
+    pub fit_time: f64,
+    /// Virtual seconds spent in the acquisition process this cycle.
+    pub acq_time: f64,
+    /// Virtual seconds spent simulating this cycle's batch.
+    pub sim_time: f64,
+    /// Batch size actually evaluated.
+    pub n_evals: usize,
+    /// Best objective (minimization orientation) after this cycle.
+    pub best_y_min: f64,
+    /// Virtual clock reading at the end of the cycle.
+    pub clock: f64,
+}
+
+/// A complete optimization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Problem name.
+    pub problem: String,
+    /// Whether the problem is natively a maximization.
+    pub maximize: bool,
+    /// Batch size q.
+    pub batch_size: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Size of the initial design.
+    pub doe_size: usize,
+    /// All observed objective values (minimization orientation), in
+    /// evaluation order (DoE first).
+    pub y_min: Vec<f64>,
+    /// Location of the best observation, in the problem's native
+    /// coordinates.
+    pub best_x: Vec<f64>,
+    /// Per-cycle records.
+    pub cycles: Vec<CycleRecord>,
+    /// Final virtual clock \[seconds\].
+    pub final_clock: f64,
+}
+
+impl RunRecord {
+    /// Total simulations performed (DoE included).
+    pub fn n_simulations(&self) -> usize {
+        self.y_min.len()
+    }
+
+    /// Simulations performed after the initial design.
+    pub fn n_optimization_simulations(&self) -> usize {
+        self.y_min.len().saturating_sub(self.doe_size)
+    }
+
+    /// Number of optimization cycles completed.
+    pub fn n_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Best objective value in the problem's native orientation.
+    pub fn best_y(&self) -> f64 {
+        let best_min = self.y_min.iter().copied().fold(f64::INFINITY, f64::min);
+        if self.maximize {
+            -best_min
+        } else {
+            best_min
+        }
+    }
+
+    /// Best-so-far trace per evaluation, native orientation.
+    pub fn best_trace(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.y_min
+            .iter()
+            .map(|&v| {
+                best = best.min(v);
+                if self.maximize {
+                    -best
+                } else {
+                    best
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate time split `(fit, acq, sim)` over all cycles \[virtual s\].
+    pub fn time_split(&self) -> (f64, f64, f64) {
+        let mut f = 0.0;
+        let mut a = 0.0;
+        let mut s = 0.0;
+        for c in &self.cycles {
+            f += c.fit_time;
+            a += c.acq_time;
+            s += c.sim_time;
+        }
+        (f, a, s)
+    }
+}
+
+/// Point-wise mean/sd of best-so-far traces truncated to the shortest
+/// run — exactly how the paper draws Figs. 3–7 ("curves only display
+/// the results for which all data are available").
+pub fn mean_sd_trace(records: &[RunRecord]) -> (Vec<f64>, Vec<f64>) {
+    let traces: Vec<Vec<f64>> = records.iter().map(|r| r.best_trace()).collect();
+    let n = traces.iter().map(|t| t.len()).min().unwrap_or(0);
+    let mut mean = Vec::with_capacity(n);
+    let mut sd = Vec::with_capacity(n);
+    for i in 0..n {
+        let col: Vec<f64> = traces.iter().map(|t| t[i]).collect();
+        mean.push(pbo_linalg::vec_ops::mean(&col));
+        sd.push(pbo_linalg::vec_ops::variance(&col).sqrt());
+    }
+    (mean, sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(maximize: bool, y: Vec<f64>) -> RunRecord {
+        RunRecord {
+            algorithm: "test".into(),
+            problem: "p".into(),
+            maximize,
+            batch_size: 2,
+            seed: 0,
+            doe_size: 2,
+            best_x: vec![0.0],
+            y_min: y,
+            cycles: vec![
+                CycleRecord {
+                    cycle: 0,
+                    fit_time: 1.0,
+                    acq_time: 2.0,
+                    sim_time: 10.0,
+                    n_evals: 2,
+                    best_y_min: 0.0,
+                    clock: 13.0,
+                },
+            ],
+            final_clock: 13.0,
+        }
+    }
+
+    #[test]
+    fn best_and_trace_minimization() {
+        let r = rec(false, vec![5.0, 3.0, 4.0, 1.0]);
+        assert_eq!(r.best_y(), 1.0);
+        assert_eq!(r.best_trace(), vec![5.0, 3.0, 3.0, 1.0]);
+        assert_eq!(r.n_simulations(), 4);
+        assert_eq!(r.n_optimization_simulations(), 2);
+    }
+
+    #[test]
+    fn best_and_trace_maximization() {
+        // Stored minimized: y_min = -profit.
+        let r = rec(true, vec![-5.0, -3.0, -7.0]);
+        assert_eq!(r.best_y(), 7.0);
+        assert_eq!(r.best_trace(), vec![5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_sd_trace_truncates_to_shortest() {
+        let a = rec(false, vec![4.0, 2.0, 1.0]);
+        let b = rec(false, vec![6.0, 4.0]);
+        let (mean, sd) = mean_sd_trace(&[a, b]);
+        assert_eq!(mean.len(), 2);
+        assert_eq!(mean[0], 5.0);
+        assert_eq!(mean[1], 3.0);
+        assert!(sd[0] > 0.0);
+    }
+
+    #[test]
+    fn time_split_sums_cycles() {
+        let r = rec(false, vec![1.0, 2.0]);
+        assert_eq!(r.time_split(), (1.0, 2.0, 10.0));
+    }
+}

@@ -1,0 +1,448 @@
+//! The exact Gaussian-process regressor.
+
+use crate::kernel::Kernel;
+use crate::{GpError, Result};
+use pbo_linalg::vec_ops::dot;
+use pbo_linalg::{Cholesky, Matrix};
+
+/// Exact GP regression with constant trend and homoskedastic noise.
+///
+/// Targets are standardized internally (shift by their mean, scale by
+/// their standard deviation); hyperparameters live on the standardized
+/// scale and the constant trend is profiled in closed form:
+/// `m̂ = (1ᵀ K_y⁻¹ y) / (1ᵀ K_y⁻¹ 1)` with `K_y = K + σ_n² I`.
+///
+/// The struct owns the Cholesky factor of `K_y` and the weight vector
+/// `α = K_y⁻¹ (y − m̂)`, so predictions are `O(n)` per point (mean) and
+/// `O(n²)` (variance).
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    x: Matrix,
+    /// Standardized targets.
+    y_std: Vec<f64>,
+    /// Standardization shift (mean of the raw targets at fit time).
+    shift: f64,
+    /// Standardization scale (std of the raw targets at fit time).
+    scale: f64,
+    /// Profiled constant trend (standardized scale).
+    trend: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+}
+
+/// Floor on the standardization scale so constant targets don't divide
+/// by zero.
+const MIN_SCALE: f64 = 1e-8;
+
+impl GaussianProcess {
+    /// Build a GP on raw data with the given kernel and noise variance
+    /// (standardized scale). Fails on empty/ragged data or a kernel of
+    /// the wrong dimension.
+    pub fn new(x: Matrix, y: &[f64], kernel: Kernel, noise: f64) -> Result<Self> {
+        if x.rows() == 0 {
+            return Err(GpError::BadTrainingData("empty training set".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(GpError::BadTrainingData(format!(
+                "{} inputs vs {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if kernel.dim() != x.cols() {
+            return Err(GpError::BadHyperparameters(format!(
+                "kernel dim {} vs input dim {}",
+                kernel.dim(),
+                x.cols()
+            )));
+        }
+        if !y.iter().all(|v| v.is_finite()) {
+            return Err(GpError::BadTrainingData("non-finite target".into()));
+        }
+        let shift = pbo_linalg::vec_ops::mean(y);
+        let scale = pbo_linalg::vec_ops::variance(y).sqrt().max(MIN_SCALE);
+        let y_std: Vec<f64> = y.iter().map(|v| (v - shift) / scale).collect();
+        Self::from_standardized(x, y_std, shift, scale, kernel, noise)
+    }
+
+    /// Rebuild from already-standardized targets (internal; used by
+    /// refits that must keep the standardization frozen).
+    pub(crate) fn from_standardized(
+        x: Matrix,
+        y_std: Vec<f64>,
+        shift: f64,
+        scale: f64,
+        kernel: Kernel,
+        noise: f64,
+    ) -> Result<Self> {
+        let mut ky = kernel.matrix(&x);
+        ky.add_diag(noise);
+        let chol = Cholesky::factor(&ky)?;
+        let (trend, alpha) = profiled_trend_and_alpha(&chol, &y_std)?;
+        Ok(GaussianProcess { kernel, noise, x, y_std, shift, scale, trend, chol, alpha })
+    }
+
+    /// Number of training points.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Homoskedastic noise variance (standardized scale).
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Training inputs.
+    pub fn train_x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Training targets on the raw scale.
+    pub fn train_y_raw(&self) -> Vec<f64> {
+        self.y_std.iter().map(|v| v * self.scale + self.shift).collect()
+    }
+
+    /// Standardization `(shift, scale)`.
+    pub fn standardization(&self) -> (f64, f64) {
+        (self.shift, self.scale)
+    }
+
+    /// Posterior mean and **latent** variance at one point, on the raw
+    /// target scale. The latent (noise-free) variance is what acquisition
+    /// functions want.
+    pub fn predict(&self, p: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(p.len(), self.dim());
+        let k = self.kernel.cross_vec(&self.x, p);
+        let mean_std = self.trend + dot(&k, &self.alpha);
+        // var = k(x,x) − kᵀ K_y⁻¹ k, via the forward solve L v = k.
+        let mut v = k;
+        self.chol.solve_lower_in_place(&mut v);
+        let var_std = (self.kernel.prior_var() - dot(&v, &v)).max(1e-14);
+        (mean_std * self.scale + self.shift, var_std * self.scale * self.scale)
+    }
+
+    /// Posterior mean only (cheaper: one dot product).
+    pub fn predict_mean(&self, p: &[f64]) -> f64 {
+        let k = self.kernel.cross_vec(&self.x, p);
+        (self.trend + dot(&k, &self.alpha)) * self.scale + self.shift
+    }
+
+    /// Batched prediction: means and latent variances for each row of
+    /// `pts`.
+    pub fn predict_many(&self, pts: &Matrix) -> (Vec<f64>, Vec<f64>) {
+        let mut means = Vec::with_capacity(pts.rows());
+        let mut vars = Vec::with_capacity(pts.rows());
+        for i in 0..pts.rows() {
+            let (m, v) = self.predict(pts.row(i));
+            means.push(m);
+            vars.push(v);
+        }
+        (means, vars)
+    }
+
+    /// Joint posterior over the rows of `pts`: mean vector and full
+    /// latent covariance matrix, raw scale. This is what Monte-Carlo
+    /// q-EI samples from.
+    pub fn posterior_joint(&self, pts: &Matrix) -> Result<(Vec<f64>, Matrix)> {
+        if pts.cols() != self.dim() {
+            return Err(GpError::BadTrainingData(format!(
+                "query dim {} vs model dim {}",
+                pts.cols(),
+                self.dim()
+            )));
+        }
+        let q = pts.rows();
+        let kxs = self.kernel.cross_matrix(&self.x, pts); // n x q
+        let mut means = Vec::with_capacity(q);
+        for j in 0..q {
+            let col = kxs.col(j);
+            means.push((self.trend + dot(&col, &self.alpha)) * self.scale + self.shift);
+        }
+        // Cov = K** − V^T V with V = L^{-1} K(x, pts).
+        let mut v = kxs;
+        for j in 0..q {
+            let mut col = v.col(j);
+            self.chol.solve_lower_in_place(&mut col);
+            for i in 0..v.rows() {
+                v[(i, j)] = col[i];
+            }
+        }
+        let s2 = self.scale * self.scale;
+        let mut cov = Matrix::zeros(q, q);
+        for a in 0..q {
+            for b in 0..=a {
+                let kab = self.kernel.eval(pts.row(a), pts.row(b));
+                let mut vtv = 0.0;
+                for i in 0..v.rows() {
+                    vtv += v[(i, a)] * v[(i, b)];
+                }
+                let c = (kab - vtv) * s2;
+                cov[(a, b)] = c;
+                cov[(b, a)] = c;
+            }
+        }
+        // Guarantee a usable (sampleable) covariance.
+        for a in 0..q {
+            if cov[(a, a)] < 1e-14 * s2 {
+                cov[(a, a)] = 1e-14 * s2;
+            }
+        }
+        Ok((means, cov))
+    }
+
+    /// Condition on additional observations without refitting the
+    /// hyperparameters, in `O(n² q)` via Cholesky extension. `ys` are on
+    /// the **raw** target scale; the frozen standardization is reused,
+    /// and the profiled trend is recomputed (cheap: two solves).
+    ///
+    /// This implements both the Kriging-Believer fantasy update (with
+    /// `ys` = posterior means) and the cheap real-data append between
+    /// full refits.
+    pub fn condition_on(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<GaussianProcess> {
+        if xs.len() != ys.len() {
+            return Err(GpError::BadTrainingData("xs/ys length mismatch".into()));
+        }
+        if xs.is_empty() {
+            return Ok(self.clone());
+        }
+        for p in xs {
+            if p.len() != self.dim() {
+                return Err(GpError::BadTrainingData("new point dimension".into()));
+            }
+        }
+        let q = xs.len();
+        let mut new_x = Matrix::zeros(q, self.dim());
+        for (i, p) in xs.iter().enumerate() {
+            new_x.row_mut(i).copy_from_slice(p);
+        }
+        // Blocks of the extended K_y.
+        let b = self.kernel.cross_matrix(&self.x, &new_x); // n x q
+        let mut c = self.kernel.matrix(&new_x); // q x q
+        c.add_diag(self.noise);
+        let chol = self.chol.extend(&b, &c)?;
+
+        let mut x = self.x.clone();
+        for p in xs {
+            x.push_row(p).expect("dimension checked above");
+        }
+        let mut y_std = self.y_std.clone();
+        y_std.extend(ys.iter().map(|v| (v - self.shift) / self.scale));
+        let (trend, alpha) = profiled_trend_and_alpha(&chol, &y_std)?;
+        Ok(GaussianProcess {
+            kernel: self.kernel.clone(),
+            noise: self.noise,
+            x,
+            y_std,
+            shift: self.shift,
+            scale: self.scale,
+            trend,
+            chol,
+            alpha,
+        })
+    }
+
+    /// The Cholesky factor of `K + σ_n² I` (standardized scale). The
+    /// acquisition layer needs it for posterior gradients.
+    pub fn chol(&self) -> &Cholesky {
+        &self.chol
+    }
+
+    /// The weight vector `α = K_y⁻¹ (y_std − m̂)`.
+    pub fn weights(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Profiled constant trend on the standardized scale.
+    pub fn trend_std(&self) -> f64 {
+        self.trend
+    }
+
+    /// Best (lowest/highest) observed raw target.
+    pub fn best_observed(&self, maximize: bool) -> f64 {
+        let ys = self.train_y_raw();
+        ys.iter()
+            .copied()
+            .fold(if maximize { f64::NEG_INFINITY } else { f64::INFINITY }, |acc, v| {
+                if maximize {
+                    acc.max(v)
+                } else {
+                    acc.min(v)
+                }
+            })
+    }
+}
+
+/// Closed-form profiled constant trend and the resulting weights.
+fn profiled_trend_and_alpha(chol: &Cholesky, y_std: &[f64]) -> Result<(f64, Vec<f64>)> {
+    let n = y_std.len();
+    let ones = vec![1.0; n];
+    let kinv_ones = chol.solve(&ones)?;
+    let kinv_y = chol.solve(y_std)?;
+    let denom = dot(&ones, &kinv_ones);
+    let trend = if denom.abs() > 1e-300 { dot(&ones, &kinv_y) / denom } else { 0.0 };
+    let alpha: Vec<f64> = kinv_y.iter().zip(&kinv_ones).map(|(a, b)| a - trend * b).collect();
+    Ok((trend, alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelType;
+
+    fn toy_gp(noise: f64) -> GaussianProcess {
+        // 1-D data from y = sin(4x) + 10 (shifted to exercise the trend).
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>()).unwrap();
+        let y: Vec<f64> = xs.iter().map(|&v| (4.0 * v).sin() + 10.0).collect();
+        let mut kernel = Kernel::new(KernelType::Matern52, 1);
+        kernel.lengthscales = vec![0.25];
+        GaussianProcess::new(x, &y, kernel, noise).unwrap()
+    }
+
+    #[test]
+    fn interpolates_with_small_noise() {
+        let gp = toy_gp(1e-8);
+        for i in 0..9 {
+            let xv = i as f64 / 8.0;
+            let (m, v) = gp.predict(&[xv]);
+            let truth = (4.0 * xv).sin() + 10.0;
+            assert!((m - truth).abs() < 1e-3, "mean at {xv}: {m} vs {truth}");
+            assert!(v < 1e-3, "variance at training point: {v}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let gp = toy_gp(1e-6);
+        let (_, v_near) = gp.predict(&[0.5]);
+        let (_, v_far) = gp.predict(&[3.0]);
+        assert!(v_far > 10.0 * v_near);
+    }
+
+    #[test]
+    fn far_field_reverts_to_trend() {
+        let gp = toy_gp(1e-6);
+        let m_far = gp.predict_mean(&[50.0]);
+        // Trend should be close to the data mean (≈ 10 + mean of sin).
+        let data_mean =
+            pbo_linalg::vec_ops::mean(&gp.train_y_raw());
+        assert!((m_far - data_mean).abs() < 0.5, "{m_far} vs {data_mean}");
+    }
+
+    #[test]
+    fn condition_on_matches_full_rebuild() {
+        let gp = toy_gp(1e-6);
+        let new_x = vec![vec![0.3], vec![0.77]];
+        let new_y = vec![11.2, 9.4];
+        let fant = gp.condition_on(&new_x, &new_y).unwrap();
+
+        // Rebuild from scratch with the same standardization by stacking
+        // raw data (standardization differs slightly, so compare
+        // predictions which are invariant when shift/scale are frozen):
+        let mut x = gp.train_x().clone();
+        x.push_row(&[0.3]).unwrap();
+        x.push_row(&[0.77]).unwrap();
+        let mut y_std = gp.y_std.clone();
+        let (shift, scale) = gp.standardization();
+        y_std.push((11.2 - shift) / scale);
+        y_std.push((9.4 - shift) / scale);
+        let rebuilt = GaussianProcess::from_standardized(
+            x,
+            y_std,
+            shift,
+            scale,
+            gp.kernel().clone(),
+            gp.noise(),
+        )
+        .unwrap();
+
+        for &p in &[0.05, 0.33, 0.6, 0.95] {
+            let (m1, v1) = fant.predict(&[p]);
+            let (m2, v2) = rebuilt.predict(&[p]);
+            assert!((m1 - m2).abs() < 1e-7, "mean {m1} vs {m2}");
+            assert!((v1 - v2).abs() < 1e-7, "var {v1} vs {v2}");
+        }
+    }
+
+    #[test]
+    fn condition_on_empty_is_noop() {
+        let gp = toy_gp(1e-6);
+        let same = gp.condition_on(&[], &[]).unwrap();
+        assert_eq!(same.n(), gp.n());
+    }
+
+    #[test]
+    fn posterior_joint_diag_matches_predict() {
+        let gp = toy_gp(1e-5);
+        let pts = Matrix::from_rows(&[vec![0.2], vec![0.9], vec![1.5]]).unwrap();
+        let (means, cov) = gp.posterior_joint(&pts).unwrap();
+        for (i, &p) in [0.2, 0.9, 1.5].iter().enumerate() {
+            let (m, v) = gp.predict(&[p]);
+            assert!((means[i] - m).abs() < 1e-9);
+            assert!((cov[(i, i)] - v).abs() < 1e-9 * (1.0 + v));
+        }
+        // Covariance symmetric and PSD-ish.
+        assert!((cov[(0, 1)] - cov[(1, 0)]).abs() < 1e-12);
+        let corr = cov[(0, 1)] / (cov[(0, 0)] * cov[(1, 1)]).sqrt();
+        assert!(corr.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn constant_targets_do_not_blow_up() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.5], vec![0.9]]).unwrap();
+        let y = vec![5.0; 3];
+        let gp = GaussianProcess::new(x, &y, Kernel::new(KernelType::Rbf, 1), 1e-6).unwrap();
+        let (m, v) = gp.predict(&[0.3]);
+        assert!((m - 5.0).abs() < 1e-6);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let x = Matrix::from_rows(&[vec![0.1]]).unwrap();
+        assert!(GaussianProcess::new(
+            x.clone(),
+            &[1.0, 2.0],
+            Kernel::new(KernelType::Rbf, 1),
+            1e-6
+        )
+        .is_err());
+        assert!(GaussianProcess::new(
+            x.clone(),
+            &[f64::NAN],
+            Kernel::new(KernelType::Rbf, 1),
+            1e-6
+        )
+        .is_err());
+        assert!(GaussianProcess::new(x, &[1.0], Kernel::new(KernelType::Rbf, 2), 1e-6).is_err());
+        assert!(GaussianProcess::new(
+            Matrix::zeros(0, 1),
+            &[],
+            Kernel::new(KernelType::Rbf, 1),
+            1e-6
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn best_observed_both_directions() {
+        let gp = toy_gp(1e-6);
+        let ys = gp.train_y_raw();
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((gp.best_observed(false) - lo).abs() < 1e-12);
+        assert!((gp.best_observed(true) - hi).abs() < 1e-12);
+    }
+}

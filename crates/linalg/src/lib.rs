@@ -1,0 +1,57 @@
+#![allow(clippy::needless_range_loop)]
+
+//! # pbo-linalg — dense linear algebra substrate
+//!
+//! A small, self-contained dense linear-algebra library providing exactly
+//! what exact Gaussian-process regression needs:
+//!
+//! - [`Matrix`]: row-major dense matrix with cache-friendly kernels,
+//! - [`vec_ops`]: BLAS-1 style slice operations,
+//! - [`Cholesky`]: jitter-stabilised factorization with solves, log-det,
+//!   inverse, and **rank-q extension** (append rows/columns to a factored
+//!   matrix in `O(n^2 q)`), which backs fantasy conditioning in the
+//!   Kriging-Believer acquisition loops,
+//! - [`parallel`]: crossbeam scoped-thread helpers used by the larger
+//!   kernels.
+//!
+//! The library is written from scratch (no external BLAS) so the whole
+//! reproduction is dependency-light and auditable. Kernels follow the
+//! dot-product (`ijk`) forms that keep the inner loops contiguous in
+//! row-major storage.
+
+pub mod cholesky;
+pub mod matrix;
+pub mod parallel;
+pub mod vec_ops;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix is not positive definite even after the maximum jitter
+    /// escalation. Carries the last diagonal pivot that failed.
+    NotPositiveDefinite { pivot: f64 },
+    /// Operand shapes are incompatible; carries a human-readable detail.
+    ShapeMismatch(String),
+    /// A numerical quantity became non-finite.
+    NonFinite(&'static str),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (failing pivot {pivot:e})")
+            }
+            LinalgError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            LinalgError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,215 @@
+//! BLAS-1 style operations on `&[f64]` slices.
+//!
+//! All functions are panic-on-shape-mismatch (debug assertions) because
+//! they sit on the hottest paths of the GP stack; callers validate shapes
+//! at API boundaries.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation: lets the compiler keep independent
+    // FMA chains in flight, which matters for the O(n^3) Cholesky inner
+    // loops built on this function.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a slice in place: `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (ai, bi) in a.iter().zip(b) {
+        let d = ai - bi;
+        s += d * d;
+    }
+    s
+}
+
+/// Weighted squared distance `sum_i ((a_i - b_i) * w_i)^2`, the kernel-space
+/// distance used by ARD (automatic relevance determination) kernels where
+/// `w_i = 1 / lengthscale_i`.
+#[inline]
+pub fn weighted_dist2(a: &[f64], b: &[f64], inv_lengthscales: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), inv_lengthscales.len());
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        let d = (a[i] - b[i]) * inv_lengthscales[i];
+        s += d * d;
+    }
+    s
+}
+
+/// Elementwise sum of two slices into a fresh `Vec`.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise difference `a - b` into a fresh `Vec`.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Infinity norm (largest absolute entry); 0 for an empty slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Mean of a slice; 0 for an empty slice.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Unbiased sample variance; 0 for slices shorter than 2.
+#[inline]
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// Clamp each coordinate of `x` into `[lo_i, hi_i]`.
+#[inline]
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    for i in 0..x.len() {
+        x[i] = x[i].clamp(lo[i], hi[i]);
+    }
+}
+
+/// Index of the minimum value (first occurrence). `None` for empty input.
+#[inline]
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum value (first occurrence). `None` for empty input.
+#[inline]
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn weighted_dist2_matches_manual() {
+        let a = [1.0, 2.0];
+        let b = [0.0, 4.0];
+        let w = [2.0, 0.5];
+        // ((1-0)*2)^2 + ((2-4)*0.5)^2 = 4 + 1 = 5
+        assert!((weighted_dist2(&a, &b, &w) - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[3.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_known() {
+        // var([1,2,3,4]) with Bessel correction = 5/3
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmin_argmax_first_occurrence() {
+        let x = [3.0, 1.0, 1.0, 5.0, 5.0];
+        assert_eq!(argmin(&x), Some(1));
+        assert_eq!(argmax(&x), Some(3));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn clamp_box_respects_bounds() {
+        let mut x = [-2.0, 0.5, 9.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, [0.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Multi-start driver for the inner optimizers.
+//!
+//! BoTorch's `optimize_acqf` evaluates a raw-sample batch, keeps the best
+//! `num_restarts` as initial conditions and polishes each with L-BFGS-B.
+//! This module implements the same recipe: Sobol raw candidates scored by
+//! the cheap objective value, top-k selection (plus caller warm starts),
+//! gradient-based polishing, best-of.
+
+use crate::lbfgs::{self, LbfgsConfig};
+use crate::neldermead::{self, NelderMeadConfig};
+use crate::{Bounds, GradObjective, OptResult};
+use pbo_sampling::sobol::Sobol;
+
+/// Configuration of the multistart search.
+#[derive(Debug, Clone)]
+pub struct MultistartConfig {
+    /// Raw Sobol candidates scored before polishing.
+    pub raw_samples: usize,
+    /// Local polishes performed (top-k of the raw scores + warm starts).
+    pub restarts: usize,
+    /// Local optimizer settings.
+    pub lbfgs: LbfgsConfig,
+    /// Seed for the scrambled Sobol raw batch.
+    pub seed: u64,
+}
+
+impl Default for MultistartConfig {
+    fn default() -> Self {
+        MultistartConfig {
+            raw_samples: 128,
+            restarts: 8,
+            lbfgs: LbfgsConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Minimize with Sobol raw sampling + L-BFGS polishing.
+///
+/// `warm_starts` are always polished in addition to the raw top-k (the
+/// acquisition loop passes the incumbent and the previous cycle's
+/// candidate here).
+pub fn minimize_multistart(
+    obj: &dyn GradObjective,
+    bounds: &Bounds,
+    warm_starts: &[Vec<f64>],
+    cfg: &MultistartConfig,
+) -> OptResult {
+    let dim = bounds.dim();
+    let mut sobol = Sobol::scrambled(dim, cfg.seed);
+    let mut scored: Vec<(f64, Vec<f64>)> = Vec::with_capacity(cfg.raw_samples);
+    let mut evals = 0;
+    for _ in 0..cfg.raw_samples {
+        let x = bounds.from_unit(&sobol.next_point());
+        let v = obj.value(&x);
+        evals += 1;
+        if v.is_finite() {
+            scored.push((v, x));
+        }
+    }
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut starts: Vec<Vec<f64>> = Vec::with_capacity(cfg.restarts + warm_starts.len());
+    for w in warm_starts {
+        let mut w = w.clone();
+        bounds.clamp(&mut w);
+        starts.push(w);
+    }
+    starts.extend(scored.into_iter().take(cfg.restarts).map(|(_, x)| x));
+    if starts.is_empty() {
+        starts.push(bounds.center());
+    }
+
+    let mut best: Option<OptResult> = None;
+    let mut total_iters = 0;
+    for s in &starts {
+        let r = lbfgs::minimize(obj, bounds, s, &cfg.lbfgs);
+        evals += r.evals;
+        total_iters += r.iters;
+        if r.value.is_finite()
+            && best.as_ref().is_none_or(|b| r.value < b.value)
+        {
+            best = Some(r);
+        }
+    }
+    let mut out = best.unwrap_or(OptResult {
+        x: bounds.center(),
+        value: obj.value(&bounds.center()),
+        evals: evals + 1,
+        iters: 0,
+        converged: false,
+    });
+    out.evals = evals;
+    out.iters = total_iters;
+    out
+}
+
+/// Derivative-free multistart (Nelder–Mead polishing); same raw-sample
+/// recipe for objectives without trustworthy gradients.
+pub fn minimize_multistart_df(
+    f: &dyn Fn(&[f64]) -> f64,
+    bounds: &Bounds,
+    warm_starts: &[Vec<f64>],
+    restarts: usize,
+    raw_samples: usize,
+    seed: u64,
+    nm: &NelderMeadConfig,
+) -> OptResult {
+    let dim = bounds.dim();
+    let mut sobol = Sobol::scrambled(dim, seed);
+    let mut scored: Vec<(f64, Vec<f64>)> = Vec::with_capacity(raw_samples);
+    let mut evals = 0;
+    for _ in 0..raw_samples {
+        let x = bounds.from_unit(&sobol.next_point());
+        let v = f(&x);
+        evals += 1;
+        if v.is_finite() {
+            scored.push((v, x));
+        }
+    }
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut starts: Vec<Vec<f64>> = warm_starts
+        .iter()
+        .map(|w| {
+            let mut w = w.clone();
+            bounds.clamp(&mut w);
+            w
+        })
+        .collect();
+    starts.extend(scored.into_iter().take(restarts).map(|(_, x)| x));
+    if starts.is_empty() {
+        starts.push(bounds.center());
+    }
+    let mut best: Option<OptResult> = None;
+    for s in &starts {
+        let r = neldermead::minimize(f, bounds, s, nm);
+        evals += r.evals;
+        if r.value.is_finite() && best.as_ref().is_none_or(|b| r.value < b.value) {
+            best = Some(r);
+        }
+    }
+    let mut out = best.unwrap();
+    out.evals = evals;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnGradObjective;
+
+    /// Two-basin function: local minimum 0.1 at x=-0.5, global 0 at x=0.7.
+    fn two_basins() -> impl GradObjective {
+        let f = |x: &[f64]| {
+            let a = (x[0] + 0.5).powi(2) + 0.1;
+            let b = 4.0 * (x[0] - 0.7).powi(2);
+            a.min(b)
+        };
+        FnGradObjective::new(1, f, move |x: &[f64]| {
+            let a = (x[0] + 0.5).powi(2) + 0.1;
+            let b = 4.0 * (x[0] - 0.7).powi(2);
+            let g = if a < b { 2.0 * (x[0] + 0.5) } else { 8.0 * (x[0] - 0.7) };
+            (a.min(b), vec![g])
+        })
+    }
+
+    #[test]
+    fn multistart_escapes_local_minimum() {
+        let obj = two_basins();
+        let b = Bounds::cube(1, -2.0, 2.0);
+        // Warm start in the wrong basin; Sobol raw samples find the right one.
+        let r = minimize_multistart(&obj, &b, &[vec![-0.5]], &MultistartConfig::default());
+        assert!((r.x[0] - 0.7).abs() < 1e-3, "got {:?}", r.x);
+        assert!(r.value < 1e-5);
+    }
+
+    #[test]
+    fn zero_restarts_still_polishes_warm_starts() {
+        let obj = two_basins();
+        let b = Bounds::cube(1, -2.0, 2.0);
+        let cfg = MultistartConfig { raw_samples: 0, restarts: 0, ..Default::default() };
+        let r = minimize_multistart(&obj, &b, &[vec![0.6]], &cfg);
+        assert!((r.x[0] - 0.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn df_variant_matches_on_smooth_problem() {
+        let f = |x: &[f64]| (x[0] - 0.25).powi(2) + (x[1] - 0.75).powi(2);
+        let b = Bounds::unit(2);
+        let r = minimize_multistart_df(&f, &b, &[], 4, 32, 7, &NelderMeadConfig::default());
+        assert!((r.x[0] - 0.25).abs() < 1e-3 && (r.x[1] - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let obj = two_basins();
+        let b = Bounds::cube(1, -2.0, 2.0);
+        let cfg = MultistartConfig { seed: 42, ..Default::default() };
+        let r1 = minimize_multistart(&obj, &b, &[], &cfg);
+        let r2 = minimize_multistart(&obj, &b, &[], &cfg);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.value, r2.value);
+    }
+}

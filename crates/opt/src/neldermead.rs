@@ -1,0 +1,201 @@
+//! Box-constrained Nelder–Mead simplex minimization.
+//!
+//! Derivative-free fallback used where gradients are unreliable (the
+//! clipped q-EI landscape has flat plateaus) and by ablation studies.
+//! Standard Lagarias et al. coefficients with box handling by clamping
+//! proposed vertices into the feasible box.
+
+use crate::{Bounds, OptResult};
+
+/// Tunables for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's value spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex's diameter falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge, as a fraction of each box width.
+    pub init_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig { max_evals: 400, f_tol: 1e-10, x_tol: 1e-9, init_step: 0.05 }
+    }
+}
+
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+/// Minimize `f` over `bounds` starting from `x0`.
+pub fn minimize(
+    f: &dyn Fn(&[f64]) -> f64,
+    bounds: &Bounds,
+    x0: &[f64],
+    cfg: &NelderMeadConfig,
+) -> OptResult {
+    let d = bounds.dim();
+    assert_eq!(x0.len(), d);
+    let widths = bounds.widths();
+
+    // Initial simplex: x0 plus a step along each axis (flipped if it
+    // would leave the box).
+    let mut start = x0.to_vec();
+    bounds.clamp(&mut start);
+    let mut simplex: Vec<Vec<f64>> = vec![start.clone()];
+    for i in 0..d {
+        let mut v = start.clone();
+        let step = (cfg.init_step * widths[i]).max(1e-12);
+        v[i] = if v[i] + step <= bounds.hi()[i] { v[i] + step } else { v[i] - step };
+        bounds.clamp(&mut v);
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+    let mut evals = d + 1;
+    let mut iters = 0;
+
+    let order = |simplex: &mut Vec<Vec<f64>>, values: &mut Vec<f64>| {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        *simplex = idx.iter().map(|&i| simplex[i].clone()).collect();
+        *values = idx.iter().map(|&i| values[i]).collect();
+    };
+    order(&mut simplex, &mut values);
+
+    while evals < cfg.max_evals {
+        iters += 1;
+        // Convergence: value spread and simplex diameter.
+        let spread = values[d] - values[0];
+        let diam = simplex[1..]
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[0])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        if spread.abs() < cfg.f_tol * (1.0 + values[0].abs()) && diam < cfg.x_tol {
+            return OptResult {
+                x: simplex[0].clone(),
+                value: values[0],
+                evals,
+                iters,
+                converged: true,
+            };
+        }
+
+        // Centroid of the d best vertices.
+        let mut centroid = vec![0.0; d];
+        for v in &simplex[..d] {
+            for i in 0..d {
+                centroid[i] += v[i] / d as f64;
+            }
+        }
+        let worst = simplex[d].clone();
+        let propose = |coef: f64| -> Vec<f64> {
+            let mut p: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(c, w)| c + coef * (c - w))
+                .collect();
+            bounds.clamp(&mut p);
+            p
+        };
+
+        let xr = propose(ALPHA);
+        let fr = f(&xr);
+        evals += 1;
+        if fr < values[0] {
+            // Try expansion.
+            let xe = propose(GAMMA);
+            let fe = f(&xe);
+            evals += 1;
+            if fe < fr {
+                simplex[d] = xe;
+                values[d] = fe;
+            } else {
+                simplex[d] = xr;
+                values[d] = fr;
+            }
+        } else if fr < values[d - 1] {
+            simplex[d] = xr;
+            values[d] = fr;
+        } else {
+            // Contraction (outside if reflected point improved the worst).
+            let (xc, base) = if fr < values[d] { (propose(RHO), fr) } else { (propose(-RHO), values[d]) };
+            let fc = f(&xc);
+            evals += 1;
+            if fc < base {
+                simplex[d] = xc;
+                values[d] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for i in 1..=d {
+                    for j in 0..d {
+                        simplex[i][j] =
+                            simplex[0][j] + SIGMA * (simplex[i][j] - simplex[0][j]);
+                    }
+                    bounds.clamp(&mut simplex[i]);
+                    values[i] = f(&simplex[i]);
+                }
+                evals += d;
+            }
+        }
+        order(&mut simplex, &mut values);
+    }
+
+    OptResult { x: simplex[0].clone(), value: values[0], evals, iters, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let f = |x: &[f64]| (x[0] - 0.3).powi(2) + 2.0 * (x[1] + 0.7).powi(2);
+        let b = Bounds::cube(2, -2.0, 2.0);
+        let r = minimize(&f, &b, &[1.5, 1.5], &NelderMeadConfig::default());
+        assert!((r.x[0] - 0.3).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] + 0.7).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn stays_in_box_with_boundary_optimum() {
+        let f = |x: &[f64]| -x[0]; // max at upper bound
+        let b = Bounds::unit(1);
+        let r = minimize(&f, &b, &[0.1], &NelderMeadConfig::default());
+        assert!(b.contains(&r.x));
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_nonsmooth_objective() {
+        let f = |x: &[f64]| x[0].abs() + (x[1] - 0.5).abs();
+        let b = Bounds::cube(2, -1.0, 1.0);
+        let cfg = NelderMeadConfig { max_evals: 2000, ..Default::default() };
+        let r = minimize(&f, &b, &[0.9, -0.9], &cfg);
+        assert!(r.value < 1e-3, "value {}", r.value);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        use std::cell::Cell;
+        let count = Cell::new(0usize);
+        let f = |x: &[f64]| {
+            count.set(count.get() + 1);
+            x[0] * x[0]
+        };
+        let b = Bounds::cube(1, -1.0, 1.0);
+        let cfg = NelderMeadConfig { max_evals: 20, f_tol: 0.0, x_tol: 0.0, ..Default::default() };
+        let _ = minimize(&f, &b, &[0.9], &cfg);
+        // A couple of evals of slack: the final loop iteration may finish
+        // its reflection/expansion pair.
+        assert!(count.get() <= 24, "{} evals", count.get());
+    }
+}

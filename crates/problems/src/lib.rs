@@ -1,0 +1,72 @@
+#![allow(clippy::needless_range_loop)]
+
+//! # pbo-problems — the paper's problem instances
+//!
+//! - [`synthetic`]: the three Table-1 benchmark functions (Rosenbrock,
+//!   Ackley, Schwefel, all optimized in 12 dimensions) plus a few extra
+//!   standard functions used by the extended test-suite and ablations;
+//! - [`uphes_problem`]: the UPHES scheduling problem — a thin adapter
+//!   over [`pbo_uphes::Simulator`] exposing the 12-d unit-cube decision
+//!   space with `maximize = true`;
+//! - [`random_search`]: the uniform-random baseline of the paper's
+//!   discussion section (best of ~12 000 samples ≈ −1200 EUR).
+//!
+//! The [`Problem`] trait is the single interface the optimization engine
+//! sees; implementations must be `Sync` so batches can be evaluated by
+//! the parallel worker pool.
+
+pub mod random_search;
+pub mod synthetic;
+pub mod uphes_problem;
+
+pub use synthetic::SyntheticFn;
+pub use uphes_problem::UphesProblem;
+
+/// A black-box optimization problem over a box domain.
+pub trait Problem: Sync {
+    /// Problem name for reports.
+    fn name(&self) -> &str;
+    /// Input dimension.
+    fn dim(&self) -> usize;
+    /// Per-dimension lower bounds.
+    fn lower(&self) -> &[f64];
+    /// Per-dimension upper bounds.
+    fn upper(&self) -> &[f64];
+    /// Objective value at `x` (native orientation; see
+    /// [`Problem::maximize`]).
+    fn eval(&self, x: &[f64]) -> f64;
+    /// True when the problem is a maximization (the engine negates
+    /// internally). Default: minimization.
+    fn maximize(&self) -> bool {
+        false
+    }
+    /// Known optimal value, when available (benchmarks only).
+    fn optimum(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Orientation-normalized evaluation: always "smaller is better".
+pub fn eval_min(problem: &dyn Problem, x: &[f64]) -> f64 {
+    let v = problem.eval(x);
+    if problem.maximize() {
+        -v
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_min_flips_maximizers() {
+        let p = UphesProblem::maizeret(3);
+        let x = vec![0.45; 12];
+        assert_eq!(eval_min(&p, &x), -p.eval(&x));
+        let b = SyntheticFn::ackley(4);
+        let x = vec![1.0; 4];
+        assert_eq!(eval_min(&b, &x), b.eval(&x));
+    }
+}

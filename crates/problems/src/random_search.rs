@@ -1,0 +1,93 @@
+//! Uniform random search — the paper's sanity baseline.
+//!
+//! §4 of the paper: "Even considering a large random sample of almost
+//! 12,000 objective function evaluations, the best-observed profit is
+//! around EUR −1200." This module reproduces that experiment and doubles
+//! as the weakest comparison algorithm.
+
+use crate::{eval_min, Problem};
+use pbo_sampling::SeedStream;
+use rand::Rng;
+
+/// Result of a random-search run.
+#[derive(Debug, Clone)]
+pub struct RandomSearchResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Best value, in the problem's native orientation.
+    pub value: f64,
+    /// Evaluations performed.
+    pub evals: usize,
+    /// Best-so-far trace (native orientation), one entry per evaluation.
+    pub trace: Vec<f64>,
+}
+
+/// Uniform random search with `n` samples.
+pub fn random_search(problem: &dyn Problem, n: usize, seed: u64) -> RandomSearchResult {
+    let mut rng = SeedStream::new(seed).fork_named("random-search").rng();
+    let d = problem.dim();
+    let (lo, hi) = (problem.lower(), problem.upper());
+    let mut best_min = f64::INFINITY;
+    let mut best_x = vec![0.0; d];
+    let mut trace = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..d).map(|j| rng.gen_range(lo[j]..=hi[j])).collect();
+        let v = eval_min(problem, &x);
+        if v < best_min {
+            best_min = v;
+            best_x = x;
+        }
+        trace.push(if problem.maximize() { -best_min } else { best_min });
+    }
+    RandomSearchResult {
+        x: best_x,
+        value: if problem.maximize() { -best_min } else { best_min },
+        evals: n,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticFn;
+
+    #[test]
+    fn trace_is_monotone_best_so_far() {
+        let p = SyntheticFn::ackley(4);
+        let r = random_search(&p, 200, 11);
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(r.trace.len(), 200);
+        assert!((r.trace.last().unwrap() - r.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_samples_never_worse() {
+        let p = SyntheticFn::schwefel(3);
+        let small = random_search(&p, 50, 9).value;
+        let big = random_search(&p, 2000, 9).value;
+        assert!(big <= small);
+    }
+
+    #[test]
+    fn maximization_orientation_respected() {
+        let p = crate::UphesProblem::maizeret(4);
+        let r = random_search(&p, 30, 2);
+        // Trace of a maximizer must be non-decreasing.
+        for w in r.trace.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((0.0..=1.0).contains(&r.x[0]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = SyntheticFn::rosenbrock(5);
+        let a = random_search(&p, 100, 77);
+        let b = random_search(&p, 100, 77);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.x, b.x);
+    }
+}

@@ -1,0 +1,52 @@
+//! # pbo-uphes — Underground Pumped Hydro-Energy Storage simulator
+//!
+//! A from-scratch stand-in for the licensed Matlab/RAO simulator used in
+//! the paper (Toubeau et al., IET GTD 2019): a techno-economic
+//! simulation of a Maizeret-like UPHES plant that maps a 12-dimensional
+//! daily decision vector to an expected profit in EUR.
+//!
+//! The paper treats its simulator as a black box with four properties
+//! that drive the optimization difficulty, all of which this model has
+//! by construction:
+//!
+//! 1. **discontinuous** — cavitation zones of the pump-turbine forbid
+//!    head-dependent power bands; the pump/turbine/idle mode split makes
+//!    the feasible power set disconnected ([`machine`], [`schedule`]);
+//! 2. **nonlinear, non-convex** — machine efficiency is a bumpy surface
+//!    over (power, head), and the net head itself moves with the
+//!    nonlinear reservoir geometry ([`geometry`], head effects);
+//! 3. **mixed-integer in disguise** — each market block chooses among
+//!    pump ∈ [−8,−6] MW, idle, or turbine ∈ \[4,8\] MW ([`schedule`]);
+//! 4. **uncertain** — profit is averaged over price / inflow / reserve
+//!    activation scenarios with common random numbers ([`scenario`]).
+//!
+//! Decision vector (see [`schedule::Schedule`]): 8 energy-market block
+//! setpoints (3-hour blocks) + 4 reserve-capacity offers (6-hour
+//! blocks), exactly the paper's `R^12` layout.
+//!
+//! The headline entry point is [`simulator::Simulator`].
+
+pub mod geometry;
+pub mod machine;
+pub mod market;
+pub mod scenario;
+pub mod schedule;
+pub mod simulator;
+
+pub use simulator::{PlantConfig, ProfitBreakdown, Simulator};
+
+/// Quarter-hours in the daily horizon.
+pub const STEPS: usize = 96;
+/// Hours per simulation step.
+pub const STEP_HOURS: f64 = 0.25;
+/// Number of energy-market blocks (3 h each).
+pub const ENERGY_BLOCKS: usize = 8;
+/// Number of reserve-market blocks (6 h each).
+pub const RESERVE_BLOCKS: usize = 4;
+/// Dimension of the decision vector.
+pub const DECISION_DIM: usize = ENERGY_BLOCKS + RESERVE_BLOCKS;
+
+/// Water density [kg/m³].
+pub const RHO: f64 = 1000.0;
+/// Gravity [m/s²].
+pub const G: f64 = 9.81;

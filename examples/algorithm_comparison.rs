@@ -1,0 +1,49 @@
+//! Head-to-head comparison of the five batch-acquisition algorithms on
+//! one benchmark function — a miniature of the paper's Tables 4–6 with
+//! the scalability readout of Fig. 9.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison [q]
+//! ```
+
+use pbo::core::algorithms::{run_algorithm, AlgorithmKind};
+use pbo::core::budget::Budget;
+use pbo::problems::SyntheticFn;
+
+fn main() {
+    let q: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let problem = SyntheticFn::schwefel(12);
+    let budget = Budget::paper(q);
+
+    println!("Schwefel-12d, 20 virtual minutes, q = {q}");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "algorithm", "best", "cycles", "sims", "fit[s]", "acq[s]", "sim[s]"
+    );
+    for kind in AlgorithmKind::paper_set() {
+        let r = run_algorithm(kind, &problem, &budget, 2024);
+        let (fit, acq, sim) = r.time_split();
+        println!(
+            "{:<12} {:>10.1} {:>8} {:>8} | {:>8.0} {:>8.0} {:>8.0}",
+            kind.name(),
+            r.best_y(),
+            r.n_cycles(),
+            r.n_simulations(),
+            fit,
+            acq,
+            sim
+        );
+    }
+    // The weak baseline for perspective.
+    let r = run_algorithm(AlgorithmKind::RandomSearch, &problem, &budget, 2024);
+    println!(
+        "{:<12} {:>10.1} {:>8} {:>8} | {:>8} {:>8} {:>8.0}",
+        "random",
+        r.best_y(),
+        r.n_cycles(),
+        r.n_simulations(),
+        "-",
+        "-",
+        r.time_split().2
+    );
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Wait for the uphes phase to start, replace it with a runs=2 version.
+cd /root/repo
+while true; do
+  if grep -q "repro uphes --runs 3" results/repro_progress.txt 2>/dev/null; then
+    # Kill the script and its child repro.
+    SCRIPT_PID=$(pgrep -xf "/bin/bash ./run_experiments.sh" | head -1)
+    [ -n "$SCRIPT_PID" ] && kill $SCRIPT_PID
+    sleep 1
+    for p in $(pgrep -x repro); do
+      if grep -q uphes /proc/$p/cmdline 2>/dev/null; then kill $p; fi
+    done
+    sleep 1
+    target/release/repro uphes --runs 2 > results/uphes_output.txt 2> results/uphes_progress.txt
+    echo UPHES_DONE >> results/uphes_progress.txt
+    break
+  fi
+  sleep 10
+done

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Full reproduction sweep. Benchmarks: 2 repetitions; UPHES: 3.
+set -x
+cd /root/repo
+R=target/release/repro
+mkdir -p results
+{
+  $R table1; $R table2; $R table3
+  $R baseline
+  $R table4 --runs 2
+  $R table5 --runs 2
+  $R table6 --runs 2
+  $R uphes --runs 3
+} > results/repro_output.txt 2> results/repro_progress.txt
+echo DONE

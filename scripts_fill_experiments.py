@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Inject the measured tables from results/repro_output.txt into
+EXPERIMENTS.md at the <!-- RESULTS --> marker."""
+import re, sys, pathlib
+
+out = pathlib.Path("results/repro_output.txt").read_text()
+up = pathlib.Path("results/uphes_output.txt")
+out += "\n" + (up.read_text() if up.exists() else "")
+exp = pathlib.Path("EXPERIMENTS.md")
+
+def section(start, end=None):
+    i = out.find(start)
+    if i < 0:
+        return f"(missing: {start})"
+    j = out.find(end, i + 1) if end else -1
+    return out[i:j if j > 0 else None].rstrip()
+
+blocks = []
+blocks.append("### Tables 4–6 (benchmark functions, final cost, 2 runs)\n")
+for t, nxt in [("# Table 4", "## evaluations"), ("# Table 5", "## evaluations"),
+               ("# Table 6", "## evaluations")]:
+    blocks.append("```\n" + section(t, nxt) + "\n```\n")
+blocks.append("### Table 7 (UPHES final profit, 3 runs)\n")
+blocks.append("```\n" + section("# n_batch = 1 ", "## ") + "\n```\n")
+blocks.append("### Fig. 2 (evaluations in budget, per problem)\n")
+for p in ["rosenbrock", "ackley", "schwefel"]:
+    blocks.append("```\n" + section(f"## evaluations in budget ({p})", "# ") + "\n```\n")
+blocks.append("### Fig. 9 (UPHES scalability)\n")
+blocks.append("```\n" + section("## fig9: scalability", None) + "\n```\n")
+blocks.append("### Random baseline (hardened simulator)\n")
+base = pathlib.Path("results/baseline_final.txt")
+if base.exists():
+    blocks.append("```\n" + base.read_text().strip() + "\n```\n")
+
+text = exp.read_text().replace("<!-- RESULTS -->", "\n".join(blocks))
+exp.write_text(text)
+print("EXPERIMENTS.md filled")

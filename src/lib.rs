@@ -1,0 +1,44 @@
+//! # pbo — Parallel Bayesian Optimization for UPHES scheduling
+//!
+//! Facade crate re-exporting the full workspace. This is the crate a
+//! downstream user depends on; the individual `pbo-*` crates remain
+//! usable on their own.
+//!
+//! The workspace reproduces Gobert et al., *Batch Acquisition for
+//! Parallel Bayesian Optimization — Application to Hydro-Energy Storage
+//! Systems Scheduling* (Algorithms 15(12):446, 2022; extended version of
+//! the IPDPSW 2022 paper), including:
+//!
+//! - a from-scratch Gaussian-process stack ([`gp`], [`linalg`],
+//!   [`sampling`], [`opt`]),
+//! - five batch-acquisition parallel BO algorithms ([`core::algorithms`]),
+//! - an Underground Pumped Hydro-Energy Storage plant simulator
+//!   ([`uphes`]),
+//! - the benchmark functions and experiment harness used in the paper's
+//!   evaluation ([`problems`], the `pbo-bench` crate).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pbo::core::algorithms::{run_algorithm, AlgorithmKind};
+//! use pbo::core::budget::Budget;
+//! use pbo::problems::SyntheticFn;
+//!
+//! let problem = SyntheticFn::ackley(4);
+//! let budget = Budget::cycles(2, 2).with_initial_samples(8);
+//! let record = run_algorithm(AlgorithmKind::KbQEgo, &problem, &budget, 42);
+//! assert!(record.best_y().is_finite());
+//! assert_eq!(record.n_cycles(), 2);
+//! ```
+
+pub use pbo_acq as acq;
+pub use pbo_core as core;
+pub use pbo_gp as gp;
+pub use pbo_linalg as linalg;
+pub use pbo_opt as opt;
+pub use pbo_problems as problems;
+pub use pbo_sampling as sampling;
+pub use pbo_uphes as uphes;
+
+/// Crate version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
