@@ -72,26 +72,31 @@ impl QExpectedImprovement {
         let (shift, scale) = gp.standardization();
         let s2 = scale * scale;
         let kxq = kernel.cross_matrix(train, pts); // n x q
-        let mut c = Matrix::zeros(train.rows(), q);
-        for j in 0..q {
-            let col = gp.chol().solve(&kxq.col(j)).ok()?;
-            for i in 0..train.rows() {
-                c[(i, j)] = col[i];
+        // C = K_y⁻¹ K(x, pts): one blocked multi-RHS solve in place
+        // instead of q single-column solve/copy round trips.
+        let mut c = kxq.clone();
+        gp.chol().solve_matrix_in_place(&mut c).ok()?;
+        let kta = kxq.matvec_t(gp.weights()).expect("alpha length n");
+        let mu: Vec<f64> =
+            kta.iter().map(|v| (gp.trend_std() + v) * scale + shift).collect();
+        // Σ = K** − KxqᵀC, the quadratic term accumulated row-major over
+        // the training points (contiguous passes over both factors).
+        let mut vtv = Matrix::zeros(q, q);
+        for i in 0..train.rows() {
+            let kr = kxq.row(i);
+            let cr = c.row(i);
+            for a in 0..q {
+                let ka = kr[a];
+                let out = vtv.row_mut(a);
+                for b in 0..=a {
+                    out[b] += ka * cr[b];
+                }
             }
-        }
-        let alpha = gp.weights();
-        let mut mu = Vec::with_capacity(q);
-        for j in 0..q {
-            mu.push((gp.trend_std() + dot(&kxq.col(j), alpha)) * scale + shift);
         }
         let mut sigma = Matrix::zeros(q, q);
         for a in 0..q {
             for b in 0..=a {
-                let mut vtv = 0.0;
-                for i in 0..train.rows() {
-                    vtv += kxq[(i, a)] * c[(i, b)];
-                }
-                let v = (kernel.eval(pts.row(a), pts.row(b)) - vtv) * s2;
+                let v = (kernel.eval(pts.row(a), pts.row(b)) - vtv[(a, b)]) * s2;
                 sigma[(a, b)] = v;
                 sigma[(b, a)] = v;
             }

@@ -23,7 +23,7 @@ use crate::budget::{Budget, Stopping};
 use crate::clock::{CostModel, TimeCategory, VirtualClock};
 use crate::exec::evaluate_batch;
 use crate::record::{CycleRecord, RunRecord};
-use pbo_gp::{fit, FitConfig, GaussianProcess};
+use pbo_gp::{fit, FitConfig, FitWorkspace, GaussianProcess};
 use pbo_linalg::Matrix;
 use pbo_opt::Bounds;
 use pbo_problems::Problem;
@@ -122,6 +122,11 @@ pub struct Engine<'a> {
     /// Minimization-oriented targets.
     y: Vec<f64>,
     gp: Option<GaussianProcess>,
+    /// Fitting workspace reused across cycles: distance tables are
+    /// rebuilt per fit (the data grows), but the n x n matrix buffers
+    /// survive whenever the fitting-view shape repeats (e.g. capped
+    /// `max_fit_points`, or warm refits between appends).
+    fit_ws: FitWorkspace,
     cycles: Vec<CycleRecord>,
     /// Clock split snapshot at the start of the current cycle.
     cycle_start_split: (f64, f64, f64),
@@ -169,6 +174,7 @@ impl<'a> Engine<'a> {
             x,
             y,
             gp: None,
+            fit_ws: FitWorkspace::new(),
             cycles: Vec::new(),
             cycle_start_split: (0.0, 0.0, 0.0),
             cycle_idx: 0,
@@ -270,19 +276,31 @@ impl<'a> Engine<'a> {
         let y = self.y.clone();
         let prev = self.gp.take();
         let mut seeds = self.seeds.fork(0xF17 + self.cycle_idx as u64);
+        let mut ws = std::mem::take(&mut self.fit_ws);
         let gp = self.clock.charge(TimeCategory::Fit, || {
             if full {
                 let warm = prev.as_ref().map(|g| (g.kernel().clone(), g.noise()));
-                fit::fit(&x, &y, &cfg, warm.as_ref().map(|(k, n)| (k, *n)), &mut seeds)
-                    .map(|(g, _)| g)
+                fit::fit_with(
+                    &x,
+                    &y,
+                    &cfg,
+                    warm.as_ref().map(|(k, n)| (k, *n)),
+                    &mut seeds,
+                    &mut ws,
+                )
+                .map(|(g, _)| g)
             } else {
                 let prev = prev.as_ref().expect("warm refit requires a model");
                 // Rebuild on the full data with the previous hypers, then
                 // take a few warm L-BFGS steps.
                 GaussianProcess::new(x.clone(), &y, prev.kernel().clone(), prev.noise())
-                    .and_then(|g| fit::refit_warm(&g, &cfg, &mut seeds).map(|(g, _)| g))
+                    .and_then(|g| {
+                        fit::refit_warm_with(&g, &cfg, &mut seeds, &mut ws)
+                            .map(|(g, _)| g)
+                    })
             }
         });
+        self.fit_ws = ws;
         match gp {
             Ok(g) => self.gp = Some(g),
             Err(_) => {

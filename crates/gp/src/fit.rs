@@ -20,16 +20,24 @@
 //! - [`fit`]: full multi-start optimization at the start of a cycle,
 //! - [`refit_warm`]: reduced-budget warm start from the current values
 //!   (the "partial fit" used inside the Kriging-Believer loop).
+//!
+//! Both drive the optimizer through the cached-distance, inverse-free
+//! evaluation in [`crate::workspace`] (wrapped in a one-point
+//! memoization, since line searches re-request accepted points);
+//! [`mll_and_grad`] below is the straightforward quadratic-loop
+//! reference implementation the fast path is property-tested against.
 
 use crate::gp::GaussianProcess;
 use crate::kernel::{Kernel, KernelType};
+use crate::workspace::{mll_and_grad_ws, mll_value_ws, FitWorkspace};
 use crate::{GpError, Result};
 use pbo_linalg::vec_ops::{dot, mean, variance};
 use pbo_linalg::{Cholesky, Matrix};
 use pbo_opt::lbfgs::LbfgsConfig;
-use pbo_opt::{Bounds, GradObjective};
+use pbo_opt::{Bounds, GradObjective, MemoGradObjective};
 use pbo_sampling::SeedStream;
 use rand::Rng;
+use std::cell::RefCell;
 
 /// Hyperparameter bounds and fitting budgets.
 #[derive(Debug, Clone)]
@@ -174,25 +182,33 @@ pub fn mll_and_grad(
     Ok((mll, grad))
 }
 
-/// Negated-MLL objective for the minimizers.
-struct NegMll<'a> {
+/// Negated-MLL objective over a prepared [`FitWorkspace`].
+///
+/// `value` takes the gradient-free path (no triangular inverse); both
+/// paths reuse the workspace's cached distances and buffers. The
+/// interior mutability is sound: the optimizers are single-threaded per
+/// objective.
+struct NegMllWs<'a> {
     family: KernelType,
-    x: &'a Matrix,
+    ws: RefCell<&'a mut FitWorkspace>,
     y_std: &'a [f64],
+    dim: usize,
 }
 
-impl GradObjective for NegMll<'_> {
+impl GradObjective for NegMllWs<'_> {
     fn dim(&self) -> usize {
-        self.x.cols() + 2
+        self.dim + 2
     }
     fn value(&self, p: &[f64]) -> f64 {
-        match mll_and_grad(self.family, self.x, self.y_std, p) {
-            Ok((v, _)) => -v,
+        let mut ws = self.ws.borrow_mut();
+        match mll_value_ws(self.family, &mut ws, self.y_std, p) {
+            Ok(v) => -v,
             Err(_) => f64::INFINITY,
         }
     }
     fn value_grad(&self, p: &[f64]) -> (f64, Vec<f64>) {
-        match mll_and_grad(self.family, self.x, self.y_std, p) {
+        let mut ws = self.ws.borrow_mut();
+        match mll_and_grad_ws(self.family, &mut ws, self.y_std, p) {
             Ok((v, g)) => (-v, g.into_iter().map(|gi| -gi).collect()),
             Err(_) => (f64::INFINITY, vec![0.0; p.len()]),
         }
@@ -258,6 +274,8 @@ fn fitting_view(
 ///
 /// `warm` optionally supplies the previous cycle's hyperparameters as an
 /// extra start (the paper's full update still benefits from it).
+/// Allocates a fresh [`FitWorkspace`]; callers fitting repeatedly (the
+/// BO engine, once per cycle) should hold one and use [`fit_with`].
 pub fn fit(
     x: &Matrix,
     y: &[f64],
@@ -265,9 +283,29 @@ pub fn fit(
     warm: Option<(&Kernel, f64)>,
     seeds: &mut SeedStream,
 ) -> Result<(GaussianProcess, FitReport)> {
+    fit_with(x, y, cfg, warm, seeds, &mut FitWorkspace::new())
+}
+
+/// [`fit`] with a caller-owned workspace: cached pairwise distances are
+/// computed once here and reused by every MLL evaluation of every
+/// restart, and the workspace's matrix buffers persist across calls.
+pub fn fit_with(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &FitConfig,
+    warm: Option<(&Kernel, f64)>,
+    seeds: &mut SeedStream,
+    workspace: &mut FitWorkspace,
+) -> Result<(GaussianProcess, FitReport)> {
     let d = x.cols();
     let (fx, fy) = fitting_view(x, y, cfg, seeds);
-    let obj = NegMll { family: cfg.family, x: &fx, y_std: &fy };
+    workspace.prepare(&fx);
+    let obj = MemoGradObjective::new(NegMllWs {
+        family: cfg.family,
+        ws: RefCell::new(workspace),
+        y_std: &fy,
+        dim: d,
+    });
     let bounds = param_bounds(cfg, d);
     let lbfgs = LbfgsConfig { max_iters: cfg.max_iters, ..LbfgsConfig::default() };
 
@@ -311,11 +349,27 @@ pub fn refit_warm(
     cfg: &FitConfig,
     seeds: &mut SeedStream,
 ) -> Result<(GaussianProcess, FitReport)> {
+    refit_warm_with(gp, cfg, seeds, &mut FitWorkspace::new())
+}
+
+/// [`refit_warm`] with a caller-owned workspace (see [`fit_with`]).
+pub fn refit_warm_with(
+    gp: &GaussianProcess,
+    cfg: &FitConfig,
+    seeds: &mut SeedStream,
+    workspace: &mut FitWorkspace,
+) -> Result<(GaussianProcess, FitReport)> {
     let x = gp.train_x().clone();
     let y = gp.train_y_raw();
     let d = x.cols();
     let (fx, fy) = fitting_view(&x, &y, cfg, seeds);
-    let obj = NegMll { family: cfg.family, x: &fx, y_std: &fy };
+    workspace.prepare(&fx);
+    let obj = MemoGradObjective::new(NegMllWs {
+        family: cfg.family,
+        ws: RefCell::new(workspace),
+        y_std: &fy,
+        dim: d,
+    });
     let bounds = param_bounds(cfg, d);
     let lbfgs = LbfgsConfig { max_iters: cfg.warm_iters, ..LbfgsConfig::default() };
     let mut start = pack(gp.kernel(), gp.noise());

@@ -141,14 +141,34 @@ impl GaussianProcess {
 
     /// Batched prediction: means and latent variances for each row of
     /// `pts`.
+    ///
+    /// One cross-covariance assembly (parallel over row blocks) plus one
+    /// multi-RHS forward solve replace `q` independent `predict` calls.
+    /// The same kernel entries and triangular system are evaluated, so
+    /// results match [`GaussianProcess::predict`] to summation-order
+    /// rounding (a few ulps).
     pub fn predict_many(&self, pts: &Matrix) -> (Vec<f64>, Vec<f64>) {
-        let mut means = Vec::with_capacity(pts.rows());
-        let mut vars = Vec::with_capacity(pts.rows());
-        for i in 0..pts.rows() {
-            let (m, v) = self.predict(pts.row(i));
-            means.push(m);
-            vars.push(v);
+        let q = pts.rows();
+        if q == 0 {
+            return (Vec::new(), Vec::new());
         }
+        debug_assert_eq!(pts.cols(), self.dim());
+        let mut kxs = self.kernel.cross_matrix(&self.x, pts); // n x q
+        let kta = kxs.matvec_t(&self.alpha).expect("alpha length n");
+        let means: Vec<f64> =
+            kta.iter().map(|v| (self.trend + v) * self.scale + self.shift).collect();
+        // V = L^{-1} K(x, pts), then latent var_j = k(x,x) − ‖V_:,j‖².
+        self.chol.solve_lower_multi_in_place(&mut kxs);
+        let mut vtv = vec![0.0; q];
+        for i in 0..kxs.rows() {
+            let row = kxs.row(i);
+            for (s, vij) in vtv.iter_mut().zip(row) {
+                *s += vij * vij;
+            }
+        }
+        let pv = self.kernel.prior_var();
+        let s2 = self.scale * self.scale;
+        let vars: Vec<f64> = vtv.iter().map(|s| (pv - s).max(1e-14) * s2).collect();
         (means, vars)
     }
 
@@ -164,19 +184,24 @@ impl GaussianProcess {
             )));
         }
         let q = pts.rows();
-        let kxs = self.kernel.cross_matrix(&self.x, pts); // n x q
-        let mut means = Vec::with_capacity(q);
-        for j in 0..q {
-            let col = kxs.col(j);
-            means.push((self.trend + dot(&col, &self.alpha)) * self.scale + self.shift);
-        }
-        // Cov = K** − V^T V with V = L^{-1} K(x, pts).
-        let mut v = kxs;
-        for j in 0..q {
-            let mut col = v.col(j);
-            self.chol.solve_lower_in_place(&mut col);
-            for i in 0..v.rows() {
-                v[(i, j)] = col[i];
+        let mut kxs = self.kernel.cross_matrix(&self.x, pts); // n x q
+        let kta = kxs.matvec_t(&self.alpha).expect("alpha length n");
+        let means: Vec<f64> =
+            kta.iter().map(|v| (self.trend + v) * self.scale + self.shift).collect();
+        // Cov = K** − VᵀV with V = L^{-1} K(x, pts): one in-place
+        // multi-RHS forward solve, then VᵀV accumulated row-major (one
+        // contiguous pass over V instead of q² strided column dots).
+        self.chol.solve_lower_multi_in_place(&mut kxs);
+        let v = kxs;
+        let mut vtv = Matrix::zeros(q, q); // lower triangle
+        for i in 0..v.rows() {
+            let row = v.row(i);
+            for a in 0..q {
+                let ra = row[a];
+                let out = vtv.row_mut(a);
+                for b in 0..=a {
+                    out[b] += ra * row[b];
+                }
             }
         }
         let s2 = self.scale * self.scale;
@@ -184,11 +209,7 @@ impl GaussianProcess {
         for a in 0..q {
             for b in 0..=a {
                 let kab = self.kernel.eval(pts.row(a), pts.row(b));
-                let mut vtv = 0.0;
-                for i in 0..v.rows() {
-                    vtv += v[(i, a)] * v[(i, b)];
-                }
-                let c = (kab - vtv) * s2;
+                let c = (kab - vtv[(a, b)]) * s2;
                 cov[(a, b)] = c;
                 cov[(b, a)] = c;
             }
@@ -397,6 +418,34 @@ mod tests {
         assert!((cov[(0, 1)] - cov[(1, 0)]).abs() < 1e-12);
         let corr = cov[(0, 1)] / (cov[(0, 0)] * cov[(1, 1)]).sqrt();
         assert!(corr.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn predict_many_matches_predict_exactly() {
+        // The batched path evaluates the same kernel entries and the same
+        // triangular system as the scalar path; the only divergence is
+        // summation order (unrolled dot vs per-column axpy), so the match
+        // must hold to a few ulps — far tighter than any model tolerance.
+        let gp = toy_gp(1e-6);
+        let qs: Vec<Vec<f64>> =
+            (0..23).map(|i| vec![i as f64 * 0.13 - 0.4]).collect();
+        let pts = Matrix::from_rows(&qs).unwrap();
+        let (means, vars) = gp.predict_many(&pts);
+        for (i, p) in qs.iter().enumerate() {
+            let (m, v) = gp.predict(p);
+            assert!(
+                (means[i] - m).abs() <= 1e-13 * (1.0 + m.abs()),
+                "mean at {p:?}: {} vs {m}",
+                means[i]
+            );
+            assert!(
+                (vars[i] - v).abs() <= 1e-13 * (1.0 + v.abs()),
+                "var at {p:?}: {} vs {v}",
+                vars[i]
+            );
+        }
+        let (em, ev) = gp.predict_many(&Matrix::zeros(0, 1));
+        assert!(em.is_empty() && ev.is_empty());
     }
 
     #[test]

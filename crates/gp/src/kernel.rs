@@ -57,6 +57,32 @@ impl KernelType {
         }
     }
 
+    /// `(rho(r), g(r))` in one call, sharing the transcendental
+    /// evaluation. Bitwise-identical to calling [`rho`](Self::rho) and
+    /// [`grad_factor`](Self::grad_factor) separately (the shared `exp`
+    /// receives the same argument and the surrounding products keep the
+    /// same association), which the workspace gradient path relies on to
+    /// match the naive reference exactly.
+    #[inline]
+    pub fn rho_and_grad(self, r: f64) -> (f64, f64) {
+        match self {
+            KernelType::Matern52 => {
+                let sr = 5.0f64.sqrt() * r;
+                let e = (-sr).exp();
+                ((1.0 + sr + sr * sr / 3.0) * e, (5.0 / 3.0) * (1.0 + sr) * e)
+            }
+            KernelType::Matern32 => {
+                let sr = 3.0f64.sqrt() * r;
+                let e = (-sr).exp();
+                ((1.0 + sr) * e, 3.0 * e)
+            }
+            KernelType::Rbf => {
+                let e = (-0.5 * r * r).exp();
+                (e, e)
+            }
+        }
+    }
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -114,25 +140,37 @@ impl Kernel {
         self.outputscale
     }
 
-    /// Dense kernel matrix over the rows of `x` (symmetric).
+    /// Dense kernel matrix over the rows of `x` (symmetric), assembled in
+    /// parallel over row blocks when large. Each row is computed in full
+    /// (`eval` is symmetric bit-for-bit, so no mirroring pass is needed
+    /// and rows stay independent for the scoped-thread fan-out).
     pub fn matrix(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
         let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            k[(i, i)] = self.outputscale;
-            for j in 0..i {
-                let v = self.eval(x.row(i), x.row(j));
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+        // Transcendental-heavy inner kernel: weight the "flop-ish" work
+        // estimate well above d multiply-adds per entry.
+        let work = n * n * (8 * self.dim() + 16);
+        pbo_linalg::parallel::for_each_row_chunk(k.as_mut_slice(), n, work, |i, row| {
+            let xi = x.row(i);
+            for (j, out) in row.iter_mut().enumerate() {
+                *out = if i == j { self.outputscale } else { self.eval(xi, x.row(j)) };
             }
-        }
+        });
         k
     }
 
     /// Cross-covariance matrix between rows of `a` (n) and rows of `b`
-    /// (m): `n x m`.
+    /// (m): `n x m`, assembled in parallel over row blocks when large.
     pub fn cross_matrix(&self, a: &Matrix, b: &Matrix) -> Matrix {
-        Matrix::from_fn(a.rows(), b.rows(), |i, j| self.eval(a.row(i), b.row(j)))
+        let mut k = Matrix::zeros(a.rows(), b.rows());
+        let work = a.rows() * b.rows() * (8 * self.dim() + 16);
+        pbo_linalg::parallel::for_each_row_chunk(k.as_mut_slice(), b.rows(), work, |i, row| {
+            let ra = a.row(i);
+            for (j, out) in row.iter_mut().enumerate() {
+                *out = self.eval(ra, b.row(j));
+            }
+        });
+        k
     }
 
     /// Covariance vector between one point and the rows of `x`.
@@ -174,6 +212,18 @@ mod tests {
                 assert!(v < prev, "{} not decreasing", f.name());
                 assert!(v > 0.0);
                 prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_rho_and_grad_is_bitwise_identical() {
+        for f in [KernelType::Matern52, KernelType::Matern32, KernelType::Rbf] {
+            for i in 0..200 {
+                let r = i as f64 * 0.05;
+                let (rho, gf) = f.rho_and_grad(r);
+                assert_eq!(rho, f.rho(r), "{} rho at r={r}", f.name());
+                assert_eq!(gf, f.grad_factor(r), "{} gf at r={r}", f.name());
             }
         }
     }

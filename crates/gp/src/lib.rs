@@ -28,10 +28,12 @@
 pub mod fit;
 pub mod gp;
 pub mod kernel;
+pub mod workspace;
 
 pub use fit::{FitConfig, FitReport};
 pub use gp::GaussianProcess;
 pub use kernel::{Kernel, KernelType};
+pub use workspace::FitWorkspace;
 
 /// Errors from model construction and fitting.
 #[derive(Debug, Clone, PartialEq)]

@@ -91,6 +91,52 @@ proptest! {
     }
 
     #[test]
+    fn workspace_mll_matches_naive_randomized(d in 1usize..=4,
+                                              flat in prop::collection::vec(0.0f64..1.0, 16..80),
+                                              ys in prop::collection::vec(-5.0f64..5.0, 4..16),
+                                              log_ls in prop::collection::vec(-2.0f64..0.7, 4),
+                                              log_os in -1.0f64..1.0,
+                                              log_noise in -7.0f64..-2.5) {
+        // The cached-distance, inverse-free MLL path must reproduce the
+        // naive quadratic-loop reference across random hyperparameters,
+        // dimensions, and training sizes to <= 1e-10 relative error.
+        let n = ys.len().min(flat.len() / d);
+        prop_assume!(n >= 2);
+        let mut x = Matrix::zeros(n, d);
+        for i in 0..n {
+            for j in 0..d {
+                x[(i, j)] = flat[i * d + j];
+            }
+        }
+        let m = pbo_linalg::vec_ops::mean(&ys[..n]);
+        let s = pbo_linalg::vec_ops::variance(&ys[..n]).sqrt().max(1e-8);
+        let y_std: Vec<f64> = ys[..n].iter().map(|v| (v - m) / s).collect();
+        let mut params = log_ls[..d].to_vec();
+        params.push(log_os);
+        params.push(log_noise);
+        let mut ws = pbo_gp::FitWorkspace::new();
+        ws.prepare(&x);
+        for family in [KernelType::Matern52, KernelType::Matern32, KernelType::Rbf] {
+            let (v_naive, g_naive) =
+                pbo_gp::fit::mll_and_grad(family, &x, &y_std, &params).unwrap();
+            let (v_ws, g_ws) =
+                pbo_gp::workspace::mll_and_grad_ws(family, &mut ws, &y_std, &params)
+                    .unwrap();
+            prop_assert!((v_ws - v_naive).abs() <= 1e-10 * (1.0 + v_naive.abs()),
+                         "{} value: ws {v_ws} vs naive {v_naive}", family.name());
+            for (i, (a, b)) in g_ws.iter().zip(&g_naive).enumerate() {
+                prop_assert!((a - b).abs() <= 1e-10 * (1.0 + b.abs()),
+                             "{} grad[{i}]: ws {a} vs naive {b} (n={n}, d={d})",
+                             family.name());
+            }
+            let v_only =
+                pbo_gp::workspace::mll_value_ws(family, &mut ws, &y_std, &params)
+                    .unwrap();
+            prop_assert!(v_only == v_ws, "{} value-only path diverged", family.name());
+        }
+    }
+
+    #[test]
     fn noise_monotonically_smooths_in_sample((x, y) in dataset()) {
         // With larger noise, in-sample residuals can only grow (the
         // model trusts the data less).

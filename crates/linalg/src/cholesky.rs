@@ -8,7 +8,8 @@
 //! `O(n^3)` factorization.
 
 use crate::matrix::Matrix;
-use crate::vec_ops::dot;
+use crate::parallel;
+use crate::vec_ops::{axpy, dot};
 use crate::{LinalgError, Result};
 
 /// Lower-triangular Cholesky factor `L` with `L * L^T = A`.
@@ -40,6 +41,15 @@ impl Cholesky {
     /// treatment of nearly singular kernel matrices (e.g. duplicated
     /// training inputs produced by fantasy points).
     pub fn factor(a: &Matrix) -> Result<Self> {
+        Self::factor_reusing(a, Matrix::zeros(0, 0))
+    }
+
+    /// Like [`factor`](Self::factor), but reuses `buf` as the storage for
+    /// `L` (reallocating only when the shape differs). The MLL objective
+    /// factors once per evaluation, so recycling this `n x n` buffer
+    /// removes the dominant allocation of the fitting hot loop. Recover
+    /// the buffer afterwards with [`into_l`](Self::into_l).
+    pub fn factor_reusing(a: &Matrix, buf: Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::ShapeMismatch(format!(
                 "cholesky of {}x{}",
@@ -51,6 +61,7 @@ impl Cholesky {
             return Err(LinalgError::NonFinite("cholesky input"));
         }
         let n = a.rows();
+        let mut l = if buf.rows() == n && buf.cols() == n { buf } else { Matrix::zeros(n, n) };
         let mean_diag = if n == 0 {
             1.0
         } else {
@@ -58,8 +69,8 @@ impl Cholesky {
         };
         let mut jitter = 0.0;
         for attempt in 0..=JITTER_TRIES {
-            match Self::try_factor(a, jitter) {
-                Ok(l) => return Ok(Cholesky { l, jitter }),
+            match Self::try_factor_into(a, jitter, &mut l) {
+                Ok(()) => return Ok(Cholesky { l, jitter }),
                 Err(e) => {
                     if attempt == JITTER_TRIES {
                         return Err(e);
@@ -75,10 +86,134 @@ impl Cholesky {
         unreachable!("jitter loop always returns")
     }
 
+    /// Factor a symmetric positive-definite matrix given only its strict
+    /// lower triangle in packed pair-major form plus a *uniform*
+    /// diagonal: entry `(i, j)` with `j < i` lives at
+    /// `packed[(i(i−1)/2 + j) · stride]`. A `stride > 1` lets callers
+    /// interleave other per-pair payloads (the GP fitting workspace
+    /// stores `[kernel value, gradient factor]` pairs and factors with
+    /// `stride = 2`), so the matrix never has to be materialized densely.
+    ///
+    /// Produces a bit-identical factor to
+    /// [`factor_reusing`](Self::factor_reusing) on the equivalent dense
+    /// matrix, including the jitter-escalation behaviour.
+    pub fn factor_packed_reusing(
+        packed: &[f64],
+        stride: usize,
+        diag: f64,
+        n: usize,
+        buf: Matrix,
+    ) -> Result<Self> {
+        if stride == 0 || packed.len() < n * n.saturating_sub(1) / 2 * stride {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "packed cholesky: {} entries (stride {stride}) for order {n}",
+                packed.len()
+            )));
+        }
+        if !diag.is_finite() || packed.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite("packed cholesky input"));
+        }
+        let mut l = if buf.rows() == n && buf.cols() == n { buf } else { Matrix::zeros(n, n) };
+        let mean_diag = diag.abs();
+        let mut jitter = 0.0;
+        for attempt in 0..=JITTER_TRIES {
+            match Self::try_factor_packed_into(packed, stride, diag, jitter, &mut l) {
+                Ok(()) => return Ok(Cholesky { l, jitter }),
+                Err(e) => {
+                    if attempt == JITTER_TRIES {
+                        return Err(e);
+                    }
+                    jitter = if jitter == 0.0 {
+                        JITTER_START * mean_diag.max(f64::MIN_POSITIVE)
+                    } else {
+                        jitter * JITTER_GROWTH
+                    };
+                }
+            }
+        }
+        unreachable!("jitter loop always returns")
+    }
+
+    /// Packed-input companion of [`try_factor_into`](Self::try_factor_into):
+    /// identical per-element arithmetic (the same `dot` over the same
+    /// slices feeds every entry, so the factor is bit-identical to the
+    /// dense path), sourcing `a[(i, j)]` from the packed strided lower
+    /// triangle and `a[(i, i)]` from the uniform diagonal.
+    ///
+    /// Rows are produced two at a time: the inner elimination streams
+    /// each prior row `j` once and charges it against both output rows,
+    /// halving the dominant memory traffic of the factorization and
+    /// giving the hardware two independent dot chains to overlap. The
+    /// evaluation order still respects every dependency, so the values
+    /// (not just the tolerances) match the one-row form exactly.
+    fn try_factor_packed_into(
+        packed: &[f64],
+        stride: usize,
+        diag: f64,
+        jitter: f64,
+        l: &mut Matrix,
+    ) -> Result<()> {
+        let n = l.rows();
+        let pivot_checked = |s: f64| -> Result<f64> {
+            let pivot = diag + jitter - s;
+            if pivot <= 0.0 || !pivot.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot });
+            }
+            Ok(pivot.sqrt())
+        };
+        let data = l.as_mut_slice();
+        let mut i = 0;
+        while i < n {
+            let base0 = i * i.saturating_sub(1) / 2 * stride;
+            let (head, tail) = data.split_at_mut(i * n);
+            if i + 1 < n {
+                let base1 = (i + 1) * i / 2 * stride;
+                let (r0, rest) = tail.split_at_mut(n);
+                let r1 = &mut rest[..n];
+                for j in 0..i {
+                    let rj = &head[j * n..j * n + j];
+                    let s0 = if j == 0 { 0.0 } else { dot(&r0[..j], rj) };
+                    let s1 = if j == 0 { 0.0 } else { dot(&r1[..j], rj) };
+                    let ljj = head[j * n + j];
+                    r0[j] = (packed[base0 + j * stride] - s0) / ljj;
+                    r1[j] = (packed[base1 + j * stride] - s1) / ljj;
+                }
+                r0[i] = pivot_checked(dot(&r0[..i], &r0[..i]))?;
+                r0[i + 1..].fill(0.0);
+                let s = dot(&r1[..i], &r0[..i]);
+                r1[i] = (packed[base1 + i * stride] - s) / r0[i];
+                r1[i + 1] = pivot_checked(dot(&r1[..=i], &r1[..=i]))?;
+                r1[i + 2..].fill(0.0);
+                i += 2;
+            } else {
+                let r0 = &mut tail[..n];
+                for j in 0..i {
+                    let rj = &head[j * n..j * n + j];
+                    let s = if j == 0 { 0.0 } else { dot(&r0[..j], rj) };
+                    r0[j] = (packed[base0 + j * stride] - s) / head[j * n + j];
+                }
+                r0[i] = pivot_checked(dot(&r0[..i], &r0[..i]))?;
+                r0[i + 1..].fill(0.0);
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// One factorization attempt with a fixed diagonal jitter.
     fn try_factor(a: &Matrix, jitter: f64) -> Result<Matrix> {
+        let mut l = Matrix::zeros(a.rows(), a.rows());
+        Self::try_factor_into(a, jitter, &mut l)?;
+        Ok(l)
+    }
+
+    /// Factorization attempt writing into a caller-owned buffer. Every
+    /// entry of `l` (including the strict upper triangle, which is
+    /// zeroed) is overwritten, so stale contents are harmless.
+    fn try_factor_into(a: &Matrix, jitter: f64, l: &mut Matrix) -> Result<()> {
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        debug_assert_eq!(l.rows(), n);
+        debug_assert_eq!(l.cols(), n);
         for i in 0..n {
             for j in 0..=i {
                 // Dot-product (ijk) form: both row prefixes are contiguous.
@@ -93,8 +228,15 @@ impl Cholesky {
                     l[(i, j)] = (a[(i, j)] - s) / l[(j, j)];
                 }
             }
+            l.row_mut(i)[i + 1..].fill(0.0);
         }
-        Ok(l)
+        Ok(())
+    }
+
+    /// Consume the factorization, returning the `L` storage for reuse by
+    /// a later [`factor_reusing`](Self::factor_reusing).
+    pub fn into_l(self) -> Matrix {
+        self.l
     }
 
     /// Order of the factored matrix.
@@ -154,8 +296,97 @@ impl Cholesky {
         Ok(x)
     }
 
-    /// Solve `A X = B` column-wise for a matrix right-hand side.
-    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+    /// Solve `A x = b` for two right-hand sides in one sweep. The
+    /// backward substitution strides down columns of `L`, so sharing each
+    /// `l[(j, i)]` load across both systems halves the strided traffic.
+    /// Bitwise identical to two independent [`solve`](Self::solve) calls
+    /// (same per-element operations in the same order).
+    pub fn solve_pair(&self, b1: &[f64], b2: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+        let n = self.n();
+        if b1.len() != n || b2.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_pair: order {n} with rhs of {} and {}",
+                b1.len(),
+                b2.len()
+            )));
+        }
+        let mut x1 = b1.to_vec();
+        let mut x2 = b2.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let s1 = dot(&row[..i], &x1[..i]);
+            let s2 = dot(&row[..i], &x2[..i]);
+            x1[i] = (x1[i] - s1) / row[i];
+            x2[i] = (x2[i] - s2) / row[i];
+        }
+        for i in (0..n).rev() {
+            let mut s1 = x1[i];
+            let mut s2 = x2[i];
+            for j in (i + 1)..n {
+                let lji = self.l[(j, i)];
+                s1 -= lji * x1[j];
+                s2 -= lji * x2[j];
+            }
+            let lii = self.l[(i, i)];
+            x1[i] = s1 / lii;
+            x2[i] = s2 / lii;
+        }
+        Ok((x1, x2))
+    }
+
+    /// Solve `L Y = B` for every column of a row-major right-hand side at
+    /// once, in place. Each elimination step is an `axpy` across a whole
+    /// row of `B`, so the inner loop vectorises over the RHS columns
+    /// instead of striding down one column at a time.
+    pub fn solve_lower_multi_in_place(&self, b: &mut Matrix) {
+        let n = self.n();
+        debug_assert_eq!(b.rows(), n);
+        let m = b.cols();
+        if m == 0 {
+            return;
+        }
+        let data = b.as_mut_slice();
+        for i in 0..n {
+            let (done, rest) = data.split_at_mut(i * m);
+            let row_i = &mut rest[..m];
+            let l_i = self.l.row(i);
+            for (j, lij) in l_i[..i].iter().enumerate() {
+                axpy(-lij, &done[j * m..(j + 1) * m], row_i);
+            }
+            let inv = 1.0 / l_i[i];
+            for v in row_i.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+
+    /// Solve `L^T X = Y` for every column of a row-major right-hand side
+    /// at once, in place (companion to
+    /// [`solve_lower_multi_in_place`](Self::solve_lower_multi_in_place)).
+    pub fn solve_lower_t_multi_in_place(&self, b: &mut Matrix) {
+        let n = self.n();
+        debug_assert_eq!(b.rows(), n);
+        let m = b.cols();
+        if m == 0 {
+            return;
+        }
+        let data = b.as_mut_slice();
+        for i in (0..n).rev() {
+            let (head, tail) = data.split_at_mut((i + 1) * m);
+            let row_i = &mut head[i * m..];
+            for j in (i + 1)..n {
+                let lji = self.l[(j, i)];
+                axpy(-lji, &tail[(j - i - 1) * m..(j - i) * m], row_i);
+            }
+            let inv = 1.0 / self.l[(i, i)];
+            for v in row_i.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+
+    /// Solve `A X = B` in place via the two blocked triangular solves.
+    pub fn solve_matrix_in_place(&self, b: &mut Matrix) -> Result<()> {
         if b.rows() != self.n() {
             return Err(LinalgError::ShapeMismatch(format!(
                 "solve_matrix: order {} with rhs {}x{}",
@@ -164,18 +395,17 @@ impl Cholesky {
                 b.cols()
             )));
         }
-        let mut out = Matrix::zeros(b.rows(), b.cols());
-        let mut col = vec![0.0; b.rows()];
-        for j in 0..b.cols() {
-            for i in 0..b.rows() {
-                col[i] = b[(i, j)];
-            }
-            self.solve_lower_in_place(&mut col);
-            self.solve_lower_t_in_place(&mut col);
-            for i in 0..b.rows() {
-                out[(i, j)] = col[i];
-            }
-        }
+        self.solve_lower_multi_in_place(b);
+        self.solve_lower_t_multi_in_place(b);
+        Ok(())
+    }
+
+    /// Solve `A X = B` for a matrix right-hand side. Returns a fresh
+    /// matrix; use [`solve_matrix_in_place`](Self::solve_matrix_in_place)
+    /// to avoid the copy.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = b.clone();
+        self.solve_matrix_in_place(&mut out)?;
         Ok(out)
     }
 
@@ -195,23 +425,43 @@ impl Cholesky {
         Ok(dot(&y, &y))
     }
 
-    /// Dense `A^{-1}` (used by the marginal-likelihood gradient, which
-    /// needs `tr(A^{-1} dK)`).
+    /// Dense `A^{-1}`. Kept for the naive marginal-likelihood gradient
+    /// path (the reference implementation the workspace-cached gradient
+    /// is property-tested against) and for tests; the fitting hot path
+    /// uses [`inv_lower_t_into`](Self::inv_lower_t_into) instead.
     pub fn inverse(&self) -> Matrix {
-        let n = self.n();
-        let mut inv = Matrix::identity(n);
-        let mut col = vec![0.0; n];
-        for j in 0..n {
-            for i in 0..n {
-                col[i] = inv[(i, j)];
-            }
-            self.solve_lower_in_place(&mut col);
-            self.solve_lower_t_in_place(&mut col);
-            for i in 0..n {
-                inv[(i, j)] = col[i];
-            }
-        }
+        let mut inv = Matrix::identity(self.n());
+        self.solve_lower_multi_in_place(&mut inv);
+        self.solve_lower_t_multi_in_place(&mut inv);
         inv
+    }
+
+    /// Write `L^{-T}` into `out` row-major: `out[a][k] = (L^{-1})_{k,a}`,
+    /// zero below the diagonal (`k < a`). Row `a` is the solution of
+    /// `L x = e_a`, a sparse forward solve touching only the trailing
+    /// `n - a` entries; rows are independent, so they are computed in
+    /// parallel over row blocks.
+    ///
+    /// Consumers get, without ever materialising `A^{-1}`:
+    /// - `(A^{-1})_{ab} = Σ_{k ≥ max(a,b)} out[a][k] · out[b][k]`
+    ///   (a contiguous suffix dot product of two rows), and
+    /// - `tr(A^{-1}) = ‖out‖_F²`.
+    pub fn inv_lower_t_into(&self, out: &mut Matrix) {
+        let n = self.n();
+        assert_eq!(out.rows(), n, "inv_lower_t_into: row mismatch");
+        assert_eq!(out.cols(), n, "inv_lower_t_into: col mismatch");
+        let l = &self.l;
+        // Total flops ~ n³/6; parallel::for_each_row_chunk decides whether
+        // that clears the spawn threshold.
+        let work = n * n * n / 6;
+        parallel::for_each_row_chunk(out.as_mut_slice(), n, work, |a, row| {
+            row[..a].fill(0.0);
+            row[a] = 1.0 / l[(a, a)];
+            for k in (a + 1)..n {
+                let s = dot(&l.row(k)[a..k], &row[a..k]);
+                row[k] = -s / l[(k, k)];
+            }
+        });
     }
 
     /// Extend the factorization of `A` to the factorization of
@@ -336,6 +586,63 @@ mod tests {
     }
 
     #[test]
+    fn packed_factor_matches_dense_bitwise() {
+        // Uniform-diagonal SPD matrix (the kernel-matrix shape): the
+        // packed strided factorization must reproduce the dense factor
+        // bit for bit, including with interleaved payload (stride 2).
+        let n = 14;
+        let mut a = spd(n, 19);
+        let diag = 2.0 * n as f64;
+        for i in 0..n {
+            a[(i, i)] = diag;
+        }
+        let dense = Cholesky::factor(&a).unwrap();
+        for stride in [1usize, 2] {
+            let mut packed = vec![f64::NAN; n * (n - 1) / 2 * stride];
+            for i in 0..n {
+                for j in 0..i {
+                    packed[(i * (i - 1) / 2 + j) * stride] = a[(i, j)];
+                }
+            }
+            if stride == 2 {
+                // Payload slots must not affect the factor (fill with a
+                // finite sentinel; NaN would trip the finiteness check).
+                for p in packed.iter_mut().skip(1).step_by(2) {
+                    *p = 7.5;
+                }
+            }
+            let ch = Cholesky::factor_packed_reusing(&packed, stride, diag, n, Matrix::zeros(0, 0))
+                .unwrap();
+            assert_eq!(ch.jitter(), dense.jitter());
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(ch.l()[(i, j)], dense.l()[(i, j)], "stride {stride} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_factor_rejects_bad_input() {
+        assert!(Cholesky::factor_packed_reusing(&[1.0], 1, 1.0, 4, Matrix::zeros(0, 0)).is_err());
+        assert!(
+            Cholesky::factor_packed_reusing(&[f64::NAN], 1, 1.0, 2, Matrix::zeros(0, 0)).is_err()
+        );
+    }
+
+    #[test]
+    fn solve_pair_is_bitwise_two_solves() {
+        let a = spd(9, 23);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b1: Vec<f64> = (0..9).map(|i| (i as f64 * 0.7).cos()).collect();
+        let b2 = vec![1.0; 9];
+        let (x1, x2) = ch.solve_pair(&b1, &b2).unwrap();
+        assert_eq!(x1, ch.solve(&b1).unwrap());
+        assert_eq!(x2, ch.solve(&b2).unwrap());
+        assert!(ch.solve_pair(&b1, &b2[..5]).is_err());
+    }
+
+    #[test]
     fn log_det_matches_2x2() {
         let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
         let ch = Cholesky::factor(&a).unwrap();
@@ -432,5 +739,67 @@ mod tests {
                 assert!((x[(i, j)] - col_x[i]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn multi_rhs_triangular_solves_match_single() {
+        let a = spd(9, 13);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(9, 4, |i, j| ((2 * i + 3 * j) as f64).cos());
+        let mut fwd = b.clone();
+        ch.solve_lower_multi_in_place(&mut fwd);
+        let mut both = b.clone();
+        ch.solve_matrix_in_place(&mut both).unwrap();
+        for j in 0..4 {
+            let mut col = b.col(j);
+            ch.solve_lower_in_place(&mut col);
+            for i in 0..9 {
+                assert!((fwd[(i, j)] - col[i]).abs() < 1e-12);
+            }
+            ch.solve_lower_t_in_place(&mut col);
+            for i in 0..9 {
+                assert!((both[(i, j)] - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inv_lower_t_reconstructs_inverse() {
+        let a = spd(11, 17);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut m = Matrix::zeros(11, 11);
+        ch.inv_lower_t_into(&mut m);
+        let inv = ch.inverse();
+        // (A^{-1})_{ab} equals the suffix dot of rows a and b of M.
+        for p in 0..11 {
+            for q in 0..11 {
+                let start = p.max(q);
+                let got = dot(&m.row(p)[start..], &m.row(q)[start..]);
+                assert!(
+                    (got - inv[(p, q)]).abs() < 1e-9 * (1.0 + inv[(p, q)].abs()),
+                    "({p},{q}): {got} vs {}",
+                    inv[(p, q)]
+                );
+            }
+        }
+        // tr(A^{-1}) equals the squared Frobenius norm of M.
+        let tr: f64 = (0..11).map(|i| inv[(i, i)]).sum();
+        let fro2 = dot(m.as_slice(), m.as_slice());
+        assert!((tr - fro2).abs() < 1e-9 * (1.0 + tr.abs()));
+    }
+
+    #[test]
+    fn factor_reusing_matches_factor_and_scrubs_stale_buffer() {
+        let a = spd(8, 19);
+        let direct = Cholesky::factor(&a).unwrap();
+        // Poison the buffer to prove every entry is overwritten.
+        let stale = Matrix::from_fn(8, 8, |_, _| f64::NAN);
+        let reused = Cholesky::factor_reusing(&a, stale).unwrap();
+        assert_eq!(direct.l(), reused.l());
+        // Round-trip the storage through another factorization.
+        let b = spd(8, 23);
+        let again = Cholesky::factor_reusing(&b, reused.into_l()).unwrap();
+        let fresh = Cholesky::factor(&b).unwrap();
+        assert_eq!(again.l(), fresh.l());
     }
 }

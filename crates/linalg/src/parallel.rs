@@ -1,4 +1,4 @@
-//! Crossbeam scoped-thread helpers for the larger dense kernels.
+//! Scoped-thread helpers for the larger dense kernels.
 //!
 //! The workspace deliberately avoids a global thread pool: the BO engine
 //! owns its own worker pool for simulator evaluations, and linear-algebra
@@ -33,7 +33,7 @@ pub fn num_threads() -> usize {
 ///
 /// `f` must be pure per row: rows are disjoint so no synchronisation is
 /// needed. This is the row-block pattern the Rayon docs describe, done
-/// with `crossbeam::scope` so the crate carries no pool.
+/// with `std::thread::scope` so the crate carries no pool.
 pub fn for_each_row_chunk<F>(out: &mut [f64], width: usize, work: usize, f: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
@@ -51,18 +51,72 @@ where
         return;
     }
     let rows_per = rows.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, block) in out.chunks_mut(rows_per * width).enumerate() {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let base = t * rows_per;
                 for (k, row) in block.chunks_mut(width).enumerate() {
                     f(base + k, row);
                 }
             });
         }
-    })
-    .expect("linalg worker thread panicked");
+    });
+}
+
+/// Apply `f(i, row)` to each *variable-length* row of `out`, where row
+/// `i` owns `out[offsets[i]..offsets[i + 1]]`, splitting rows across
+/// scoped threads when `work` exceeds the parallel threshold.
+///
+/// This is the packed-triangular companion of
+/// [`for_each_row_chunk`]: pair-major buffers (one ragged row per
+/// training point, row `a` holding its `a` pairs `b < a`) stay
+/// contiguous per row, so the same disjoint-chunk borrow argument
+/// applies. Blocks are equal-row, so triangular layouts are imbalanced
+/// by up to ~2x — acceptable for the short fork/join fan-outs used here.
+pub fn for_each_ragged_row_chunk<F>(out: &mut [f64], offsets: &[usize], work: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if offsets.len() < 2 {
+        return;
+    }
+    let rows = offsets.len() - 1;
+    debug_assert_eq!(offsets[rows], out.len());
+    let threads = num_threads().min(rows);
+    if threads <= 1 || work < PAR_THRESHOLD {
+        let mut rest = out;
+        let mut consumed = offsets[0];
+        for i in 0..rows {
+            let (row, tail) = rest.split_at_mut(offsets[i + 1] - consumed);
+            consumed = offsets[i + 1];
+            f(i, row);
+            rest = tail;
+        }
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut consumed = offsets[0];
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + rows_per).min(rows);
+            let (block, tail) = rest.split_at_mut(offsets[r1] - consumed);
+            consumed = offsets[r1];
+            rest = tail;
+            let f = &f;
+            s.spawn(move || {
+                let mut at = 0;
+                for i in r0..r1 {
+                    let len = offsets[i + 1] - offsets[i];
+                    f(i, &mut block[at..at + len]);
+                    at += len;
+                }
+            });
+            r0 = r1;
+        }
+    });
 }
 
 /// Parallel map over indices `0..n` collecting into a `Vec`.
@@ -84,18 +138,17 @@ where
         return out;
     }
     let per = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, block) in out.chunks_mut(per).enumerate() {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let base = t * per;
                 for (k, slot) in block.iter_mut().enumerate() {
                     *slot = f(base + k);
                 }
             });
         }
-    })
-    .expect("linalg worker thread panicked");
+    });
     out
 }
 
@@ -129,6 +182,30 @@ mod tests {
         for_each_row_chunk(&mut seq, 8, 0, fill);
         for_each_row_chunk(&mut par, 8, usize::MAX, fill);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn ragged_rows_cover_all_rows_both_paths() {
+        // Triangular layout: row i owns i entries (row 0 is empty).
+        let rows = 9;
+        let mut offsets = vec![0usize];
+        for i in 0..rows {
+            offsets.push(offsets[i] + i);
+        }
+        let total = *offsets.last().unwrap();
+        let fill = |i: usize, row: &mut [f64]| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * 100 + j) as f64;
+            }
+        };
+        let mut seq = vec![-1.0; total];
+        let mut par = vec![-1.0; total];
+        for_each_ragged_row_chunk(&mut seq, &offsets, 0, fill);
+        for_each_ragged_row_chunk(&mut par, &offsets, usize::MAX, fill);
+        assert_eq!(seq, par);
+        assert_eq!(seq[offsets[5]], 500.0);
+        assert_eq!(seq[offsets[6] - 1], 504.0);
+        assert!(!seq.contains(&-1.0));
     }
 
     #[test]

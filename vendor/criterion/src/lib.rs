@@ -1,0 +1,306 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Benchmarks compile and run with the same source syntax as upstream
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `BenchmarkId::from_parameter`, `Bencher::iter`).
+//! Measurement is a simple calibrated-batch sampler: warm up, pick an
+//! iteration count per sample from the warm-up estimate, collect samples
+//! within the configured measurement time, and report mean / stddev / min.
+//!
+//! Each result is printed in a human-readable line *and* a machine-readable
+//! `SHIM_JSON {...}` line so scripts can scrape timings; if the
+//! `CRITERION_SHIM_OUT` environment variable names a file, JSON lines are
+//! appended there as well.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.settings.warm_up_time = dur;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.settings, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup { _c: self, name: name.into(), settings }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Benchmark identifier: `group/function/parameter` pieces.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark id by `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.warm_up_time = dur;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.settings, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.settings, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one(id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up doubles the batch size until the configured wall time passes,
+    // leaving a per-iteration estimate for sample sizing.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 1;
+    let mut elapsed = time_batch(f, iters);
+    let mut last_per_iter = elapsed.as_secs_f64() / iters as f64;
+    while warm_start.elapsed() < settings.warm_up_time {
+        if elapsed < Duration::from_millis(50) {
+            iters = iters.saturating_mul(2);
+        }
+        elapsed = time_batch(f, iters);
+        last_per_iter = elapsed.as_secs_f64() / iters as f64;
+    }
+
+    let target_per_sample =
+        settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters_per_sample = if last_per_iter > 0.0 {
+        ((target_per_sample / last_per_iter).floor() as u64).max(1)
+    } else {
+        iters.max(1)
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    let measure_start = Instant::now();
+    for i in 0..settings.sample_size {
+        let elapsed = time_batch(f, iters_per_sample);
+        samples_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        // Never exceed ~2x the configured measurement time even if the
+        // warm-up estimate was far off, but always take >= 3 samples.
+        if i >= 2 && measure_start.elapsed() > settings.measurement_time * 2 {
+            break;
+        }
+    }
+
+    let n = samples_ns.len() as f64;
+    let mean = samples_ns.iter().sum::<f64>() / n;
+    let var = samples_ns.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n.max(1.0);
+    let sd = var.sqrt();
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    println!(
+        "{id:<48} time: [{} ± {}] (min {}, {} samples × {} iters)",
+        fmt_ns(mean),
+        fmt_ns(sd),
+        fmt_ns(min),
+        samples_ns.len(),
+        iters_per_sample
+    );
+    let json = format!(
+        "{{\"id\":\"{id}\",\"mean_ns\":{mean:.1},\"stddev_ns\":{sd:.1},\"min_ns\":{min:.1},\"samples\":{},\"iters_per_sample\":{iters_per_sample}}}",
+        samples_ns.len()
+    );
+    println!("SHIM_JSON {json}");
+    if let Ok(path) = std::env::var("CRITERION_SHIM_OUT") {
+        if let Ok(mut file) =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)
+        {
+            let _ = writeln!(file, "{json}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(40))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut g = c.benchmark_group("shim_smoke");
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| (0..n).map(|i| i * i).sum::<usize>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repo currently only *derives* `Serialize`/`Deserialize` as forward
+//! declarations on record types (no serialization backend is wired up and no
+//! registry access exists to pull the real crate). These marker traits plus
+//! the no-op derive in `serde_derive` keep the annotations compiling; when a
+//! real backend lands, swapping the path dependency for upstream serde
+//! requires no source changes.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The derives intentionally expand to nothing: the marker traits in the
+//! stand-in `serde` crate carry no methods, so there is nothing to generate.
+//! `attributes(serde)` keeps any future `#[serde(...)]` field attributes
+//! inert instead of erroring.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
