@@ -124,6 +124,9 @@ fn run_grid(
                 t0.elapsed().as_secs_f64(),
                 mean_cycles
             );
+            if let Some(line) = report::fault_summary(&recs) {
+                eprintln!("[{}] q={q} {}: {line}", spec.name(), algo.name());
+            }
             map.insert((algo, q), recs);
         }
     }

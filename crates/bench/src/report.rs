@@ -1,6 +1,6 @@
 //! Table/figure formatting and CSV output.
 
-use pbo_core::record::{mean_sd_trace, RunRecord};
+use pbo_core::record::{mean_sd_trace, FaultCounters, RunRecord};
 use pbo_core::stats::{summarize, welch_t_test, Summary};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -8,6 +8,33 @@ use std::path::Path;
 /// Final objective values (native orientation) of a set of runs.
 pub fn final_values(records: &[RunRecord]) -> Vec<f64> {
     records.iter().map(|r| r.best_y()).collect()
+}
+
+/// One-line robustness summary over a set of runs: aggregated fault
+/// counters from the fault-tolerant evaluation pool. Returns `None`
+/// when every run was fault-free (the usual clean-problem case), so
+/// callers can omit the line entirely.
+pub fn fault_summary(records: &[RunRecord]) -> Option<String> {
+    let mut total = FaultCounters::default();
+    for r in records {
+        total.merge(&r.fault_totals());
+    }
+    if !total.any() {
+        return None;
+    }
+    Some(format!(
+        "faults: {} panics, {} NaN + {} Inf quarantined, {} stragglers, \
+         {} timeouts, {} retries, {} imputed, {} dropped, {:.1} virtual s lost",
+        total.panics,
+        total.nan_quarantined,
+        total.inf_quarantined,
+        total.stragglers,
+        total.timeouts,
+        total.retries,
+        total.imputed,
+        total.dropped,
+        total.virtual_secs_lost,
+    ))
 }
 
 /// Summary of final values.
@@ -172,9 +199,11 @@ mod tests {
                     n_evals: q,
                     best_y_min: best,
                     clock: 12.0 * (c + 1) as f64,
+                    faults: Default::default(),
                 })
                 .collect(),
             final_clock: 12.0 * n_cycles as f64,
+            doe_faults: Default::default(),
         }
     }
 
@@ -187,6 +216,20 @@ mod tests {
         let c = cycles_by_batch(&per_q);
         assert_eq!(c[0].0, 6.0);
         assert!(c[0].1 > 0.0);
+    }
+
+    #[test]
+    fn fault_summary_reports_only_when_faults_occurred() {
+        let clean = rec(1.0, 2, 2);
+        assert!(fault_summary(&[clean.clone()]).is_none());
+        let mut faulty = rec(1.0, 2, 2);
+        faulty.cycles[0].faults.panics = 3;
+        faulty.cycles[1].faults.retries = 4;
+        faulty.doe_faults.virtual_secs_lost = 12.5;
+        let line = fault_summary(&[clean, faulty]).expect("faults present");
+        assert!(line.contains("3 panics"), "{line}");
+        assert!(line.contains("4 retries"), "{line}");
+        assert!(line.contains("12.5 virtual s lost"), "{line}");
     }
 
     #[test]

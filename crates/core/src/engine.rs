@@ -21,8 +21,8 @@
 
 use crate::budget::{Budget, Stopping};
 use crate::clock::{CostModel, TimeCategory, VirtualClock};
-use crate::exec::evaluate_batch;
-use crate::record::{CycleRecord, RunRecord};
+use crate::exec::{evaluate_batch_ft, BatchReport, FtPolicy};
+use crate::record::{CycleRecord, FaultCounters, RunRecord};
 use pbo_gp::{fit, FitConfig, FitWorkspace, GaussianProcess};
 use pbo_linalg::Matrix;
 use pbo_opt::Bounds;
@@ -71,6 +71,9 @@ pub struct AlgoConfig {
     pub thompson_candidates: usize,
     /// Virtual-clock cost model.
     pub cost_model: CostModel,
+    /// Fault-tolerant evaluation policy (retries, backoff, timeout,
+    /// worker-count override).
+    pub ft: FtPolicy,
 }
 
 impl Default for AlgoConfig {
@@ -88,6 +91,7 @@ impl Default for AlgoConfig {
             kb_fantasy: FantasyKind::PosteriorMean,
             thompson_candidates: 512,
             cost_model: CostModel::default(),
+            ft: FtPolicy::default(),
         }
     }
 }
@@ -132,6 +136,8 @@ pub struct Engine<'a> {
     cycle_start_split: (f64, f64, f64),
     cycle_idx: usize,
     seed: u64,
+    /// Faults absorbed while evaluating the initial design.
+    doe_faults: FaultCounters,
 }
 
 impl<'a> Engine<'a> {
@@ -158,11 +164,28 @@ impl<'a> Engine<'a> {
                 x
             })
             .collect();
-        let y = evaluate_batch(problem, &native);
+        // The DoE goes through the fault-tolerant pool too (a crashed
+        // rank during initial sampling must not kill the run). Failed
+        // design points are *dropped*, not imputed: with no dataset yet
+        // there is no liar value to borrow, and a slightly smaller DoE
+        // is exactly what the paper's cluster would deliver.
+        let report = evaluate_batch_ft(problem, &native, budget.sim_seconds, &cfg.ft);
+        let mut doe_faults = report.counters();
         let mut x = Matrix::zeros(0, d);
-        for u in &unit_pts {
-            x.push_row(u).expect("DoE width");
+        let mut y = Vec::with_capacity(n0);
+        for (u, o) in unit_pts.iter().zip(&report.outcomes) {
+            match o.value {
+                Some(v) => {
+                    x.push_row(u).expect("DoE width");
+                    y.push(v);
+                }
+                None => doe_faults.dropped += 1,
+            }
         }
+        assert!(
+            !y.is_empty(),
+            "every initial-design point failed after retries; cannot start a run"
+        );
         let clock = VirtualClock::new(cfg.cost_model);
         Engine {
             problem,
@@ -179,6 +202,7 @@ impl<'a> Engine<'a> {
             cycle_start_split: (0.0, 0.0, 0.0),
             cycle_idx: 0,
             seed,
+            doe_faults,
         }
     }
 
@@ -344,8 +368,17 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Evaluate a batch (parallel), charge the virtual simulation time,
-    /// append to the dataset and close the cycle record.
+    /// Evaluate a batch through the fault-tolerant pool, charge the
+    /// virtual simulation time (max over ranks + dispatch overhead,
+    /// the paper's MPI accounting — so retries and stragglers lengthen
+    /// the *reported* cycle, never the host run), append to the dataset
+    /// with graceful degradation, and close the cycle record.
+    ///
+    /// Degradation policy: a point that exhausts its retries is imputed
+    /// constant-liar style with the dataset maximum (pessimistic, so it
+    /// can never displace the incumbent nor attract the next batch), or
+    /// dropped in the impossible case of an empty dataset. NaN/Inf
+    /// never reach the GP.
     pub fn commit_batch(&mut self, batch: Vec<Vec<f64>>) {
         assert!(!batch.is_empty(), "cannot commit an empty batch");
         let native: Vec<Vec<f64>> = batch
@@ -356,12 +389,42 @@ impl<'a> Engine<'a> {
                 x
             })
             .collect();
-        let ys = evaluate_batch(self.problem, &native);
-        self.clock
-            .charge_virtual(TimeCategory::Simulation, self.budget.batch_sim_time(batch.len()));
-        for (u, y) in batch.iter().zip(&ys) {
+        let report: BatchReport =
+            evaluate_batch_ft(self.problem, &native, self.budget.sim_seconds, &self.cfg.ft);
+        let mut faults = report.counters();
+        // One virtual rank per batch element: the pool's wall time is
+        // the slowest rank's, plus the dispatch overhead. Fault-free,
+        // every rank costs exactly `sim_seconds` and this reduces to
+        // the original `batch_sim_time` charge.
+        let charged = report.max_rank_secs()
+            + self.budget.dispatch_overhead
+            + self.budget.dispatch_overhead_per_point * batch.len() as f64;
+        self.clock.charge_virtual(TimeCategory::Simulation, charged);
+        // Constant-liar value: worst finite observation across the
+        // dataset and this batch's successes.
+        let liar = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.value)
+            .chain(self.y.iter().copied())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut n_evals = 0usize;
+        for (u, o) in batch.iter().zip(&report.outcomes) {
+            let value = match o.value {
+                Some(v) => v,
+                None if liar.is_finite() => {
+                    faults.imputed += 1;
+                    liar
+                }
+                None => {
+                    faults.dropped += 1;
+                    continue;
+                }
+            };
+            debug_assert!(value.is_finite(), "non-finite value past quarantine");
             self.x.push_row(u).expect("batch width");
-            self.y.push(*y);
+            self.y.push(value);
+            n_evals += 1;
         }
         let (f0, a0, s0) = self.cycle_start_split;
         let (f1, a1, s1) = self.clock.split();
@@ -370,9 +433,10 @@ impl<'a> Engine<'a> {
             fit_time: f1 - f0,
             acq_time: a1 - a0,
             sim_time: s1 - s0,
-            n_evals: batch.len(),
+            n_evals,
             best_y_min: self.best_min(),
             clock: self.clock.now(),
+            faults,
         });
         self.cycle_idx += 1;
     }
@@ -391,10 +455,13 @@ impl<'a> Engine<'a> {
             maximize: self.problem.maximize(),
             batch_size: self.budget.batch_size,
             seed: self.seed,
-            doe_size: self.budget.initial_samples.max(2),
+            // Dropped design points never entered `y_min`, so the
+            // recorded DoE size is what actually survived.
+            doe_size: self.budget.initial_samples.max(2) - self.doe_faults.dropped as usize,
             y_min: self.y,
             cycles: self.cycles,
             final_clock: self.clock.now(),
+            doe_faults: self.doe_faults,
         }
     }
 }
@@ -487,6 +554,124 @@ mod tests {
         assert!(!close(&batch[0], &existing));
         assert!(!close(&batch[1], &existing));
         assert!(!close(&batch[0], &batch[1]));
+    }
+
+    #[test]
+    fn faulty_run_imputes_and_counts() {
+        use pbo_problems::fault::{silence_injected_panics, FaultPlan, FaultyProblem};
+        silence_injected_panics();
+        let inner = SyntheticFn::ackley(3);
+        let plan = FaultPlan::uniform(21, 0.3);
+        let p = FaultyProblem::new(&inner, plan);
+        let budget = Budget::cycles(3, 2).with_initial_samples(8);
+        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 42, "test");
+        while e.should_continue() {
+            e.fit_model();
+            let c = e.cycle_index() as f64;
+            e.commit_batch(vec![vec![0.3, 0.3, 0.2 + 0.1 * c], vec![0.7, 0.2, 0.1 + 0.1 * c]]);
+        }
+        let r = e.finish();
+        let totals = r.fault_totals();
+        let log = p.injection_log();
+        assert!(totals.any(), "a 30% plan must fire somewhere in 14 evals x attempts");
+        assert_eq!(totals.panics, log.panics);
+        assert_eq!(totals.nan_quarantined, log.nans);
+        assert_eq!(totals.inf_quarantined, log.infs);
+        assert_eq!(totals.stragglers, log.straggles);
+        // Nothing non-finite may ever reach the dataset.
+        assert!(r.y_min.iter().all(|v| v.is_finite()));
+        // An imputed point carries the dataset max: it never improves
+        // the incumbent, so the best-so-far trace stays clean.
+        assert!(r.best_y().is_finite());
+    }
+
+    #[test]
+    fn straggler_extends_charged_sim_time() {
+        use pbo_problems::fault::{FaultPlan, FaultyProblem};
+        let inner = SyntheticFn::ackley(3);
+        // Pure stragglers: every attempt succeeds but arrives late.
+        let plan =
+            FaultPlan { p_straggle: 1.0, max_straggle_secs: 20.0, ..FaultPlan::none(5) };
+        let p = FaultyProblem::new(&inner, plan);
+        let budget = Budget::cycles(1, 2).with_initial_samples(6);
+        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 9, "test");
+        e.fit_model();
+        e.commit_batch(vec![vec![0.3, 0.3, 0.3], vec![0.7, 0.2, 0.9]]);
+        let r = e.finish();
+        let c = &r.cycles[0];
+        // Charged time = max over the two ranks' (10 + delay) + 0.6
+        // dispatch: strictly more than the fault-free 10.6, bounded by
+        // the 20 s worst-case delay.
+        assert!(c.sim_time > 10.6);
+        assert!(c.sim_time <= 30.6 + 1e-9);
+        assert_eq!(c.faults.stragglers, 2);
+        // Lost rank-seconds are the sum of both delays, and must be at
+        // least the slowest rank's extra charge.
+        let log = p.injection_log();
+        // DoE straggles too (untimed but logged); cycle counters only
+        // cover the batch.
+        assert!(log.straggles >= 8);
+        assert!((c.faults.virtual_secs_lost - (c.sim_time - 10.6)) > -1e-9);
+    }
+
+    /// Unit-box problem whose evaluation always returns NaN at the
+    /// poisoned point and is healthy everywhere else.
+    struct PoisonedPoint {
+        bounds_lo: Vec<f64>,
+        bounds_hi: Vec<f64>,
+        poison: Vec<f64>,
+    }
+
+    impl pbo_problems::Problem for PoisonedPoint {
+        fn name(&self) -> &str {
+            "poisoned"
+        }
+        fn dim(&self) -> usize {
+            3
+        }
+        fn lower(&self) -> &[f64] {
+            &self.bounds_lo
+        }
+        fn upper(&self) -> &[f64] {
+            &self.bounds_hi
+        }
+        fn eval(&self, x: &[f64]) -> f64 {
+            if x == self.poison.as_slice() {
+                f64::NAN
+            } else {
+                x.iter().sum()
+            }
+        }
+    }
+
+    #[test]
+    fn permanently_failing_point_is_imputed_with_dataset_max() {
+        let p = PoisonedPoint {
+            bounds_lo: vec![0.0; 3],
+            bounds_hi: vec![1.0; 3],
+            poison: vec![0.5, 0.5, 0.5],
+        };
+        let budget = Budget::cycles(1, 2).with_initial_samples(6);
+        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 11, "test");
+        let liar = e.data().1.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        e.fit_model();
+        e.commit_batch(vec![vec![0.5, 0.5, 0.5], vec![0.9, 0.9, 0.9]]);
+        let r = e.finish();
+        // The healthy companion point (Σx = 2.7) must beat the liar,
+        // and the poisoned point must carry the pre-batch dataset max.
+        let c = &r.cycles[0];
+        assert_eq!(c.faults.imputed, 1);
+        assert_eq!(c.faults.nan_quarantined, 3, "initial attempt + 2 retries");
+        assert_eq!(c.faults.retries, 2);
+        assert_eq!(c.n_evals, 2, "imputed point still enters the dataset");
+        assert!(r.y_min.iter().all(|v| v.is_finite()));
+        let imputed = r.y_min[r.y_min.len() - 2];
+        assert_eq!(imputed, liar.max(2.7));
+        // Retries serialized on the failing rank: 3 × 10 s sims plus
+        // backoffs 1 + 2 = 33 s rank time vs the healthy rank's 10 s,
+        // so the charged cycle time is 33 + 0.6 dispatch.
+        assert!((c.sim_time - 33.6).abs() < 1e-9);
+        assert!((c.faults.virtual_secs_lost - 23.0).abs() < 1e-9);
     }
 
     #[test]

@@ -3,6 +3,63 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Per-batch fault bookkeeping from the fault-tolerant executor
+/// (`pbo-core::exec::evaluate_batch_ft`) and the engine's degradation
+/// policy. All counts are exact and deterministic given the run seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Worker panics caught and isolated.
+    pub panics: u64,
+    /// NaN results quarantined before reaching the dataset.
+    pub nan_quarantined: u64,
+    /// Infinite results quarantined before reaching the dataset.
+    pub inf_quarantined: u64,
+    /// Evaluations that straggled (returned late in virtual time).
+    pub stragglers: u64,
+    /// Attempts killed by the per-evaluation virtual timeout.
+    pub timeouts: u64,
+    /// Re-attempts performed (Σ per-point `attempts − 1`).
+    pub retries: u64,
+    /// Points that exhausted retries and were imputed (constant-liar
+    /// dataset max) before the GP update.
+    pub imputed: u64,
+    /// Points that exhausted retries and were dropped outright.
+    pub dropped: u64,
+    /// Virtual rank-seconds consumed beyond the fault-free cost: extra
+    /// simulation attempts, backoff waits, straggler delays and timeout
+    /// charges, summed over all ranks (the paper's CPU-seconds-lost
+    /// view; the charged *wall* time is the max over ranks and lives in
+    /// `sim_time`).
+    pub virtual_secs_lost: f64,
+}
+
+impl FaultCounters {
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.panics += other.panics;
+        self.nan_quarantined += other.nan_quarantined;
+        self.inf_quarantined += other.inf_quarantined;
+        self.stragglers += other.stragglers;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.imputed += other.imputed;
+        self.dropped += other.dropped;
+        self.virtual_secs_lost += other.virtual_secs_lost;
+    }
+
+    /// Total failed attempts (each one either triggered a retry or
+    /// exhausted the point).
+    pub fn failed_attempts(&self) -> u64 {
+        self.panics + self.nan_quarantined + self.inf_quarantined + self.timeouts
+    }
+
+    /// True when any fault was observed.
+    pub fn any(&self) -> bool {
+        self.failed_attempts() + self.stragglers + self.imputed + self.dropped > 0
+            || self.virtual_secs_lost > 0.0
+    }
+}
+
 /// One optimization cycle's bookkeeping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CycleRecord {
@@ -20,6 +77,8 @@ pub struct CycleRecord {
     pub best_y_min: f64,
     /// Virtual clock reading at the end of the cycle.
     pub clock: f64,
+    /// Faults absorbed while evaluating this cycle's batch.
+    pub faults: FaultCounters,
 }
 
 /// A complete optimization run.
@@ -47,9 +106,21 @@ pub struct RunRecord {
     pub cycles: Vec<CycleRecord>,
     /// Final virtual clock \[seconds\].
     pub final_clock: f64,
+    /// Faults absorbed while evaluating the initial design (untimed,
+    /// so not part of any cycle).
+    pub doe_faults: FaultCounters,
 }
 
 impl RunRecord {
+    /// Aggregate fault tally over the whole run (DoE + every cycle).
+    pub fn fault_totals(&self) -> FaultCounters {
+        let mut total = self.doe_faults;
+        for c in &self.cycles {
+            total.merge(&c.faults);
+        }
+        total
+    }
+
     /// Total simulations performed (DoE included).
     pub fn n_simulations(&self) -> usize {
         self.y_min.len()
@@ -144,9 +215,11 @@ mod tests {
                     n_evals: 2,
                     best_y_min: 0.0,
                     clock: 13.0,
+                    faults: FaultCounters::default(),
                 },
             ],
             final_clock: 13.0,
+            doe_faults: FaultCounters::default(),
         }
     }
 
@@ -182,5 +255,22 @@ mod tests {
     fn time_split_sums_cycles() {
         let r = rec(false, vec![1.0, 2.0]);
         assert_eq!(r.time_split(), (1.0, 2.0, 10.0));
+    }
+
+    #[test]
+    fn fault_totals_merge_doe_and_cycles() {
+        let mut r = rec(false, vec![1.0, 2.0]);
+        r.doe_faults = FaultCounters { panics: 1, virtual_secs_lost: 10.0, ..FaultCounters::default() };
+        r.cycles[0].faults =
+            FaultCounters { retries: 3, nan_quarantined: 2, imputed: 1, ..FaultCounters::default() };
+        let t = r.fault_totals();
+        assert_eq!(t.panics, 1);
+        assert_eq!(t.retries, 3);
+        assert_eq!(t.nan_quarantined, 2);
+        assert_eq!(t.imputed, 1);
+        assert_eq!(t.virtual_secs_lost, 10.0);
+        assert_eq!(t.failed_attempts(), 3);
+        assert!(t.any());
+        assert!(!FaultCounters::default().any());
     }
 }

@@ -15,12 +15,27 @@
 //! sees; implementations must be `Sync` so batches can be evaluated by
 //! the parallel worker pool.
 
+pub mod fault;
 pub mod random_search;
 pub mod synthetic;
 pub mod uphes_problem;
 
+pub use fault::{FaultPlan, FaultyProblem};
 pub use synthetic::SyntheticFn;
 pub use uphes_problem::UphesProblem;
+
+/// The observable side effects of one simulator call, as seen by the
+/// fault-tolerant executor: the objective value plus any *virtual* time
+/// the evaluation took beyond the nominal per-simulation cost (a
+/// straggling MPI rank in the paper's cluster setting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalEffect {
+    /// Objective value in the problem's native orientation.
+    pub value: f64,
+    /// Extra virtual seconds consumed beyond the nominal simulation
+    /// time (0 for a healthy worker).
+    pub extra_virtual_secs: f64,
+}
 
 /// A black-box optimization problem over a box domain.
 pub trait Problem: Sync {
@@ -43,6 +58,14 @@ pub trait Problem: Sync {
     /// Known optimal value, when available (benchmarks only).
     fn optimum(&self) -> Option<f64> {
         None
+    }
+    /// Evaluation through the fault-tolerant executor: may panic (a
+    /// crashed worker), return non-finite values, or report extra
+    /// virtual time (a straggler). The default is a healthy evaluation;
+    /// only fault-injection wrappers such as [`FaultyProblem`] override
+    /// this, so the plain [`Problem::eval`] surface stays clean.
+    fn eval_effect(&self, x: &[f64]) -> EvalEffect {
+        EvalEffect { value: self.eval(x), extra_virtual_secs: 0.0 }
     }
 }
 

@@ -1,5 +1,7 @@
 #!/bin/bash
 # Full reproduction sweep. Benchmarks: 2 repetitions; UPHES: 3.
+# Run `scripts/ci.sh` first (tier-1 gate: release build + tests with
+# warnings denied) before launching a sweep.
 set -x
 cd /root/repo
 R=target/release/repro

@@ -1,0 +1,23 @@
+#!/bin/bash
+# Tier-1 verification gate: release build + full test suite, with
+# warnings promoted to errors. Run from anywhere inside the repo.
+#
+#   scripts/ci.sh            # build + test
+#   scripts/ci.sh --quick    # skip the release build (debug tests only)
+#
+# This is the same gate run_experiments.sh assumes has passed before a
+# reproduction sweep is launched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+if [[ "${1:-}" != "--quick" ]]; then
+  echo "== cargo build --release (warnings are errors) =="
+  cargo build --release
+fi
+
+echo "== cargo test -q (workspace, warnings are errors) =="
+cargo test -q
+
+echo "CI gate passed."

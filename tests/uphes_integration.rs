@@ -8,14 +8,17 @@ use pbo::problems::{Problem, UphesProblem};
 use pbo::uphes::schedule::Schedule;
 
 /// A deterministic (fixed-cost) configuration strong enough for the
-/// 12-d UPHES landscape, unlike the minimal smoke profile.
+/// 12-d UPHES landscape, unlike the minimal smoke profile: a larger
+/// DoE fraction (28 of the 66-sim budget), full hyperparameter refits
+/// every cycle with two restarts, and an 8×96 acquisition multistart.
 fn uphes_test_config() -> AlgoConfig {
     use pbo::core::clock::CostModel;
     use pbo::gp::FitConfig;
     AlgoConfig {
-        fit: pbo::gp::FitConfig { restarts: 1, max_iters: 20, warm_iters: 8, ..FitConfig::default() },
-        acq_restarts: 4,
-        acq_raw_samples: 48,
+        fit: pbo::gp::FitConfig { restarts: 2, max_iters: 40, warm_iters: 12, ..FitConfig::default() },
+        full_fit_every: 1,
+        acq_restarts: 8,
+        acq_raw_samples: 96,
         qei_samples: 64,
         qei_restarts: 2,
         qei_raw_samples: 12,
@@ -24,11 +27,15 @@ fn uphes_test_config() -> AlgoConfig {
     }
 }
 
+/// The shared 66-simulation budget: 19 cycles × 2 + 28 DoE.
+fn uphes_test_budget() -> Budget {
+    Budget::cycles(19, 2).with_initial_samples(28)
+}
+
 #[test]
 fn bo_beats_random_search_under_equal_simulation_budget() {
     let problem = UphesProblem::maizeret(17);
-    // 25 cycles × 2 = 50 optimization sims + 16 DoE = 66 total.
-    let budget = Budget::cycles(25, 2).with_initial_samples(16);
+    let budget = uphes_test_budget();
     let bo = run_algorithm_with(AlgorithmKind::MicQEgo, &problem, &budget, uphes_test_config(), 2);
     let rs = random_search(&problem, 66, 2);
     assert!(
@@ -105,8 +112,13 @@ fn random_baseline_matches_paper_narrative() {
     // well below what 24 optimized simulations reach above.
     let problem = UphesProblem::maizeret(17);
     let rs = random_search(&problem, 2000, 5);
-    let budget = Budget::cycles(25, 2).with_initial_samples(16);
-    let bo = run_algorithm_with(AlgorithmKind::MicQEgo, &problem, &budget, uphes_test_config(), 2);
+    let bo = run_algorithm_with(
+        AlgorithmKind::MicQEgo,
+        &problem,
+        &uphes_test_budget(),
+        uphes_test_config(),
+        2,
+    );
     assert!(
         bo.best_y() > rs.value - 200.0,
         "66-sim BO ({}) should be at least competitive with 2000-sim random ({})",
