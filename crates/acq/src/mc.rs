@@ -25,6 +25,56 @@ use pbo_linalg::{Cholesky, Matrix};
 use pbo_opt::multistart::{minimize_multistart, MultistartConfig};
 use pbo_opt::{Bounds, FnGradObjective};
 use pbo_sampling::{normal, sobol::Sobol};
+use std::cell::RefCell;
+
+/// Reusable buffers for the q-EI posterior and gradient hot path. The
+/// dominant per-call allocations of the original implementation — the
+/// `n × q` cross-covariance and solve blocks plus the `q × q` and
+/// `d × q` gradient scratch — live here and are recycled across calls
+/// (one workspace per thread via `thread_local!`, so the multistart can
+/// polish starts on scoped threads without sharing).
+struct QeiWorkspace {
+    kxq: Matrix,
+    c: Matrix,
+    vtv: Matrix,
+    sigma: Matrix,
+    /// Recycled Cholesky storage, round-tripped through
+    /// [`Cholesky::factor_reusing`] / [`Cholesky::into_l`].
+    chol_buf: Matrix,
+    mu: Vec<f64>,
+    mu_bar: Vec<f64>,
+    l_bar: Matrix,
+    y: Vec<f64>,
+    kbuf: Vec<f64>,
+    e: Matrix,
+    dmu: Vec<f64>,
+    pts: Matrix,
+}
+
+impl QeiWorkspace {
+    fn new() -> Self {
+        let empty = || Matrix::zeros(0, 0);
+        QeiWorkspace {
+            kxq: empty(),
+            c: empty(),
+            vtv: empty(),
+            sigma: empty(),
+            chol_buf: empty(),
+            mu: Vec::new(),
+            mu_bar: Vec::new(),
+            l_bar: empty(),
+            y: Vec::new(),
+            kbuf: Vec::new(),
+            e: empty(),
+            dmu: Vec::new(),
+            pts: empty(),
+        }
+    }
+}
+
+thread_local! {
+    static QEI_WS: RefCell<QeiWorkspace> = RefCell::new(QeiWorkspace::new());
+}
 
 /// Monte-Carlo q-EI with fixed qMC base samples.
 #[derive(Debug, Clone)]
@@ -60,75 +110,84 @@ impl QExpectedImprovement {
     }
 
     /// Posterior pieces shared by value and gradient: cross-covariances,
-    /// solved columns, raw means and the raw-covariance Cholesky.
-    fn posterior(
+    /// solved columns and raw means land in `ws`; the raw-covariance
+    /// Cholesky is returned (its storage is recycled from
+    /// `ws.chol_buf` — hand it back with `ws.chol_buf = chol.into_l()`
+    /// when done).
+    fn posterior_into(
         &self,
         gp: &GaussianProcess,
         pts: &Matrix,
-    ) -> Option<(Matrix, Matrix, Vec<f64>, Cholesky)> {
+        ws: &mut QeiWorkspace,
+    ) -> Option<Cholesky> {
         let q = self.q;
         let kernel = gp.kernel();
         let train = gp.train_x();
         let (shift, scale) = gp.standardization();
         let s2 = scale * scale;
-        let kxq = kernel.cross_matrix(train, pts); // n x q
+        kernel.cross_matrix_into(train, pts, &mut ws.kxq); // n x q
         // C = K_y⁻¹ K(x, pts): one blocked multi-RHS solve in place
         // instead of q single-column solve/copy round trips.
-        let mut c = kxq.clone();
-        gp.chol().solve_matrix_in_place(&mut c).ok()?;
-        let kta = kxq.matvec_t(gp.weights()).expect("alpha length n");
-        let mu: Vec<f64> =
-            kta.iter().map(|v| (gp.trend_std() + v) * scale + shift).collect();
+        ws.c.reset_zeros(train.rows(), q);
+        ws.c.as_mut_slice().copy_from_slice(ws.kxq.as_slice());
+        gp.chol().solve_matrix_in_place(&mut ws.c).ok()?;
+        let kta = ws.kxq.matvec_t(gp.weights()).expect("alpha length n");
+        ws.mu.clear();
+        ws.mu.extend(kta.iter().map(|v| (gp.trend_std() + v) * scale + shift));
         // Σ = K** − KxqᵀC, the quadratic term accumulated row-major over
         // the training points (contiguous passes over both factors).
-        let mut vtv = Matrix::zeros(q, q);
+        ws.vtv.reset_zeros(q, q);
         for i in 0..train.rows() {
-            let kr = kxq.row(i);
-            let cr = c.row(i);
+            let kr = ws.kxq.row(i);
+            let cr = ws.c.row(i);
             for a in 0..q {
                 let ka = kr[a];
-                let out = vtv.row_mut(a);
+                let out = ws.vtv.row_mut(a);
                 for b in 0..=a {
                     out[b] += ka * cr[b];
                 }
             }
         }
-        let mut sigma = Matrix::zeros(q, q);
+        ws.sigma.reset_zeros(q, q);
         for a in 0..q {
             for b in 0..=a {
-                let v = (kernel.eval(pts.row(a), pts.row(b)) - vtv[(a, b)]) * s2;
-                sigma[(a, b)] = v;
-                sigma[(b, a)] = v;
+                let v = (kernel.eval(pts.row(a), pts.row(b)) - ws.vtv[(a, b)]) * s2;
+                ws.sigma[(a, b)] = v;
+                ws.sigma[(b, a)] = v;
             }
         }
         for a in 0..q {
-            if sigma[(a, a)] < 1e-13 * s2.max(1e-300) {
-                sigma[(a, a)] = 1e-13 * s2.max(1e-300);
+            if ws.sigma[(a, a)] < 1e-13 * s2.max(1e-300) {
+                ws.sigma[(a, a)] = 1e-13 * s2.max(1e-300);
             }
         }
-        let chol = Cholesky::factor(&sigma).ok()?;
-        Some((kxq, c, mu, chol))
+        let buf = std::mem::replace(&mut ws.chol_buf, Matrix::zeros(0, 0));
+        Cholesky::factor_reusing(&ws.sigma, buf).ok()
     }
 
     /// qEI value at a batch given as rows of `pts` (q x d).
     pub fn value(&self, gp: &GaussianProcess, pts: &Matrix) -> f64 {
         assert_eq!(pts.rows(), self.q);
-        let Some((_, _, mu, chol)) = self.posterior(gp, pts) else {
-            return f64::NEG_INFINITY;
-        };
-        let l = chol.l();
-        let m_samples = self.base.rows();
-        let mut total = 0.0;
-        for m in 0..m_samples {
-            let z = self.base.row(m);
-            let mut best = 0.0f64;
-            for j in 0..self.q {
-                let y = mu[j] + dot(&l.row(j)[..=j], &z[..=j]);
-                best = best.max(self.f_best - y);
+        QEI_WS.with(|w| {
+            let ws = &mut *w.borrow_mut();
+            let Some(chol) = self.posterior_into(gp, pts, ws) else {
+                return f64::NEG_INFINITY;
+            };
+            let l = chol.l();
+            let m_samples = self.base.rows();
+            let mut total = 0.0;
+            for m in 0..m_samples {
+                let z = self.base.row(m);
+                let mut best = 0.0f64;
+                for j in 0..self.q {
+                    let y = ws.mu[j] + dot(&l.row(j)[..=j], &z[..=j]);
+                    best = best.max(self.f_best - y);
+                }
+                total += best;
             }
-            total += best;
-        }
-        total / m_samples as f64
+            ws.chol_buf = chol.into_l();
+            total / m_samples as f64
+        })
     }
 
     /// qEI value and gradient with respect to the flattened batch
@@ -137,95 +196,109 @@ impl QExpectedImprovement {
         let q = self.q;
         let d = gp.dim();
         assert_eq!(x_flat.len(), q * d);
-        let pts = Matrix::from_vec(q, d, x_flat.to_vec()).expect("shape");
-        let Some((kxq, c, mu, chol)) = self.posterior(gp, &pts) else {
-            return (f64::NEG_INFINITY, vec![0.0; q * d]);
-        };
-        let l = chol.l();
-        let m_samples = self.base.rows();
+        QEI_WS.with(|w| {
+            let ws = &mut *w.borrow_mut();
+            // The batch matrix lives in the workspace too; it is moved
+            // out for the duration of the call so `ws` stays borrowable.
+            let mut pts = std::mem::replace(&mut ws.pts, Matrix::zeros(0, 0));
+            pts.reset_zeros(q, d);
+            pts.as_mut_slice().copy_from_slice(x_flat);
+            let Some(chol) = self.posterior_into(gp, &pts, ws) else {
+                ws.pts = pts;
+                return (f64::NEG_INFINITY, vec![0.0; q * d]);
+            };
+            let l = chol.l();
+            let m_samples = self.base.rows();
 
-        // MC pass: value plus adjoints on μ and L.
-        let mut value = 0.0;
-        let mut mu_bar = vec![0.0; q];
-        let mut l_bar = Matrix::zeros(q, q);
-        let mut y = vec![0.0; q];
-        for m in 0..m_samples {
-            let z = self.base.row(m);
-            for j in 0..q {
-                y[j] = mu[j] + dot(&l.row(j)[..=j], &z[..=j]);
-            }
-            let (mut jstar, mut best) = (usize::MAX, 0.0f64);
-            for j in 0..q {
-                let imp = self.f_best - y[j];
-                if imp > best {
-                    best = imp;
-                    jstar = j;
+            // MC pass: value plus adjoints on μ and L.
+            let mut value = 0.0;
+            ws.mu_bar.clear();
+            ws.mu_bar.resize(q, 0.0);
+            ws.l_bar.reset_zeros(q, q);
+            ws.y.clear();
+            ws.y.resize(q, 0.0);
+            for m in 0..m_samples {
+                let z = self.base.row(m);
+                for j in 0..q {
+                    ws.y[j] = ws.mu[j] + dot(&l.row(j)[..=j], &z[..=j]);
                 }
-            }
-            if jstar != usize::MAX {
-                value += best;
-                mu_bar[jstar] -= 1.0;
-                for b in 0..=jstar {
-                    l_bar[(jstar, b)] -= z[b];
+                let (mut jstar, mut best) = (usize::MAX, 0.0f64);
+                for j in 0..q {
+                    let imp = self.f_best - ws.y[j];
+                    if imp > best {
+                        best = imp;
+                        jstar = j;
+                    }
                 }
-            }
-        }
-        let inv_m = 1.0 / m_samples as f64;
-        value *= inv_m;
-        for v in mu_bar.iter_mut() {
-            *v *= inv_m;
-        }
-        l_bar.scale(inv_m);
-
-        // Σ̄ from the Cholesky pullback (adjoint w.r.t. the raw Σ).
-        let sigma_bar = chol_pullback(l, &l_bar);
-
-        // Chain to the batch coordinates.
-        let kernel = gp.kernel();
-        let train = gp.train_x();
-        let n = train.rows();
-        let alpha = gp.weights();
-        let (_, scale) = gp.standardization();
-        let s2 = scale * scale;
-
-        let mut grad = vec![0.0; q * d];
-        let mut kbuf = vec![0.0; d];
-        // Per batch point j: D (n x d) = ∂k(x_j, x_i)/∂x_j, then
-        // E = Dᵀ C (d x q) and dμ_j = scale · Dᵀ α.
-        let mut e = Matrix::zeros(d, q);
-        let mut dmu = vec![0.0; d];
-        for j in 0..q {
-            for v in e.as_mut_slice().iter_mut() {
-                *v = 0.0;
-            }
-            dmu.iter_mut().for_each(|v| *v = 0.0);
-            for i in 0..n {
-                kernel.grad_wrt_query(pts.row(j), train.row(i), &mut kbuf);
-                for k in 0..d {
-                    let dk = kbuf[k];
-                    dmu[k] += alpha[i] * dk;
-                    for b in 0..q {
-                        e[(k, b)] += dk * c[(i, b)];
+                if jstar != usize::MAX {
+                    value += best;
+                    ws.mu_bar[jstar] -= 1.0;
+                    for b in 0..=jstar {
+                        ws.l_bar[(jstar, b)] -= z[b];
                     }
                 }
             }
-            let _ = &kxq; // kxq retained for clarity; C carries the solves
-            for k in 0..d {
-                let mut g = mu_bar[j] * (dmu[k] * scale);
-                for b in 0..q {
-                    let dsig_std = if b == j {
-                        -2.0 * e[(k, j)]
-                    } else {
-                        kernel.grad_wrt_query(pts.row(j), pts.row(b), &mut kbuf);
-                        kbuf[k] - e[(k, b)]
-                    };
-                    let coeff = if b == j { sigma_bar[(j, j)] } else { 2.0 * sigma_bar[(j, b)] };
-                    g += coeff * dsig_std * s2;
-                }
-                grad[j * d + k] = g;
+            let inv_m = 1.0 / m_samples as f64;
+            value *= inv_m;
+            for v in ws.mu_bar.iter_mut() {
+                *v *= inv_m;
             }
-        }
-        (value, grad)
+            ws.l_bar.scale(inv_m);
+
+            // Σ̄ from the Cholesky pullback (adjoint w.r.t. the raw Σ).
+            let sigma_bar = chol_pullback(l, &ws.l_bar);
+
+            // Chain to the batch coordinates.
+            let kernel = gp.kernel();
+            let train = gp.train_x();
+            let n = train.rows();
+            let alpha = gp.weights();
+            let (_, scale) = gp.standardization();
+            let s2 = scale * scale;
+
+            let mut grad = vec![0.0; q * d];
+            ws.kbuf.clear();
+            ws.kbuf.resize(d, 0.0);
+            // Per batch point j: D (n x d) = ∂k(x_j, x_i)/∂x_j, then
+            // E = Dᵀ C (d x q) and dμ_j = scale · Dᵀ α.
+            ws.e.reset_zeros(d, q);
+            ws.dmu.clear();
+            ws.dmu.resize(d, 0.0);
+            for j in 0..q {
+                for v in ws.e.as_mut_slice().iter_mut() {
+                    *v = 0.0;
+                }
+                ws.dmu.iter_mut().for_each(|v| *v = 0.0);
+                for i in 0..n {
+                    kernel.grad_wrt_query(pts.row(j), train.row(i), &mut ws.kbuf);
+                    for k in 0..d {
+                        let dk = ws.kbuf[k];
+                        ws.dmu[k] += alpha[i] * dk;
+                        for b in 0..q {
+                            ws.e[(k, b)] += dk * ws.c[(i, b)];
+                        }
+                    }
+                }
+                for k in 0..d {
+                    let mut g = ws.mu_bar[j] * (ws.dmu[k] * scale);
+                    for b in 0..q {
+                        let dsig_std = if b == j {
+                            -2.0 * ws.e[(k, j)]
+                        } else {
+                            kernel.grad_wrt_query(pts.row(j), pts.row(b), &mut ws.kbuf);
+                            ws.kbuf[k] - ws.e[(k, b)]
+                        };
+                        let coeff =
+                            if b == j { sigma_bar[(j, j)] } else { 2.0 * sigma_bar[(j, b)] };
+                        g += coeff * dsig_std * s2;
+                    }
+                    grad[j * d + k] = g;
+                }
+            }
+            ws.chol_buf = chol.into_l();
+            ws.pts = pts;
+            (value, grad)
+        })
     }
 }
 

@@ -10,11 +10,33 @@
 //!   minimization form the *lower* confidence bound `−(μ − β σ)`,
 //!   gradient `−∇μ + β ∇σ`. β defaults to the common `√2` scale.
 
-use crate::{posterior_with_grad, Acquisition};
+use crate::{posterior_with_grad, posterior_with_grad_ws, AcqWorkspace, Acquisition};
 use pbo_gp::GaussianProcess;
+use pbo_linalg::Matrix;
 use pbo_opt::multistart::{minimize_multistart, MultistartConfig};
-use pbo_opt::{Bounds, FnGradObjective, OptResult};
+use pbo_opt::{BatchObjective, Bounds, GradObjective, OptResult};
 use pbo_sampling::normal;
+use std::cell::RefCell;
+
+/// EI core on posterior moments. `u Φ(u) + φ(u)` is evaluated directly:
+/// for `u → −∞` the two terms cancel to `≈ φ(u)/u²` with only `O(ε u²)`
+/// relative error, which stays below `1e-12` for `|u| ≤ 30`, and both
+/// factors underflow gracefully past that. The terminal `max(0.0)`
+/// clamps the `O(ε φ(u))` negative rounding residue so EI is exactly
+/// nonnegative.
+#[inline]
+fn ei_from_moments(f_best: f64, mean: f64, sigma_raw: f64) -> f64 {
+    let sigma = sigma_raw.max(1e-12);
+    let u = (f_best - mean) / sigma;
+    (sigma * (u * normal::cdf(u) + normal::pdf(u))).max(0.0)
+}
+
+/// PI core on posterior moments.
+#[inline]
+fn pi_from_moments(f_best: f64, mean: f64, sigma_raw: f64) -> f64 {
+    let sigma = sigma_raw.max(1e-12);
+    normal::cdf((f_best - mean) / sigma)
+}
 
 /// Expected Improvement below the incumbent `f_best`.
 #[derive(Debug, Clone)]
@@ -26,9 +48,7 @@ pub struct ExpectedImprovement {
 impl Acquisition for ExpectedImprovement {
     fn value(&self, gp: &GaussianProcess, x: &[f64]) -> f64 {
         let (mean, var) = gp.predict(x);
-        let sigma = var.sqrt().max(1e-12);
-        let u = (self.f_best - mean) / sigma;
-        sigma * (u * normal::cdf(u) + normal::pdf(u))
+        ei_from_moments(self.f_best, mean, var.sqrt())
     }
 
     fn value_grad(&self, gp: &GaussianProcess, x: &[f64]) -> (f64, Vec<f64>) {
@@ -36,7 +56,7 @@ impl Acquisition for ExpectedImprovement {
         let sigma = pg.sigma.max(1e-12);
         let u = (self.f_best - pg.mean) / sigma;
         let (cdf, pdf) = (normal::cdf(u), normal::pdf(u));
-        let value = sigma * (u * cdf + pdf);
+        let value = (sigma * (u * cdf + pdf)).max(0.0);
         let grad = pg
             .dmean
             .iter()
@@ -48,6 +68,35 @@ impl Acquisition for ExpectedImprovement {
 
     fn name(&self) -> &'static str {
         "ei"
+    }
+
+    fn value_with(&self, gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
+        let (mean, var) = gp.predict_with(x, &mut ws.pred);
+        ei_from_moments(self.f_best, mean, var.sqrt())
+    }
+
+    fn value_grad_into(
+        &self,
+        gp: &GaussianProcess,
+        x: &[f64],
+        ws: &mut AcqWorkspace,
+        grad: &mut Vec<f64>,
+    ) -> f64 {
+        posterior_with_grad_ws(gp, x, ws);
+        let pg = ws.posterior();
+        let sigma = pg.sigma.max(1e-12);
+        let u = (self.f_best - pg.mean) / sigma;
+        let (cdf, pdf) = (normal::cdf(u), normal::pdf(u));
+        grad.clear();
+        grad.extend(pg.dmean.iter().zip(&pg.dsigma).map(|(dm, ds)| -cdf * dm + pdf * ds));
+        (sigma * (u * cdf + pdf)).max(0.0)
+    }
+
+    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+        let (means, vars) = gp.predict_many(pts);
+        for (o, (m, v)) in out.iter_mut().zip(means.iter().zip(&vars)) {
+            *o = ei_from_moments(self.f_best, *m, v.sqrt());
+        }
     }
 }
 
@@ -61,8 +110,7 @@ pub struct ProbabilityOfImprovement {
 impl Acquisition for ProbabilityOfImprovement {
     fn value(&self, gp: &GaussianProcess, x: &[f64]) -> f64 {
         let (mean, var) = gp.predict(x);
-        let sigma = var.sqrt().max(1e-12);
-        normal::cdf((self.f_best - mean) / sigma)
+        pi_from_moments(self.f_best, mean, var.sqrt())
     }
 
     fn value_grad(&self, gp: &GaussianProcess, x: &[f64]) -> (f64, Vec<f64>) {
@@ -82,6 +130,40 @@ impl Acquisition for ProbabilityOfImprovement {
 
     fn name(&self) -> &'static str {
         "pi"
+    }
+
+    fn value_with(&self, gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
+        let (mean, var) = gp.predict_with(x, &mut ws.pred);
+        pi_from_moments(self.f_best, mean, var.sqrt())
+    }
+
+    fn value_grad_into(
+        &self,
+        gp: &GaussianProcess,
+        x: &[f64],
+        ws: &mut AcqWorkspace,
+        grad: &mut Vec<f64>,
+    ) -> f64 {
+        posterior_with_grad_ws(gp, x, ws);
+        let pg = ws.posterior();
+        let sigma = pg.sigma.max(1e-12);
+        let u = (self.f_best - pg.mean) / sigma;
+        let pdf = normal::pdf(u);
+        grad.clear();
+        grad.extend(
+            pg.dmean
+                .iter()
+                .zip(&pg.dsigma)
+                .map(|(dm, ds)| pdf * (-dm - u * ds) / sigma),
+        );
+        normal::cdf(u)
+    }
+
+    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+        let (means, vars) = gp.predict_many(pts);
+        for (o, (m, v)) in out.iter_mut().zip(means.iter().zip(&vars)) {
+            *o = pi_from_moments(self.f_best, *m, v.sqrt());
+        }
     }
 }
 
@@ -119,11 +201,95 @@ impl Acquisition for UpperConfidenceBound {
     fn name(&self) -> &'static str {
         "ucb"
     }
+
+    fn value_with(&self, gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
+        let (mean, var) = gp.predict_with(x, &mut ws.pred);
+        -mean + self.beta * var.sqrt()
+    }
+
+    fn value_grad_into(
+        &self,
+        gp: &GaussianProcess,
+        x: &[f64],
+        ws: &mut AcqWorkspace,
+        grad: &mut Vec<f64>,
+    ) -> f64 {
+        posterior_with_grad_ws(gp, x, ws);
+        let pg = ws.posterior();
+        grad.clear();
+        grad.extend(
+            pg.dmean
+                .iter()
+                .zip(&pg.dsigma)
+                .map(|(dm, ds)| -dm + self.beta * ds),
+        );
+        -pg.mean + self.beta * pg.sigma
+    }
+
+    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+        let (means, vars) = gp.predict_many(pts);
+        for (o, (m, v)) in out.iter_mut().zip(means.iter().zip(&vars)) {
+            *o = -m + self.beta * v.sqrt();
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread acquisition workspace. The multistart fans objective
+    /// calls out over scoped threads; a `thread_local!` keeps the
+    /// objective `Sync` while giving every worker its own buffers.
+    static ACQ_WS: RefCell<AcqWorkspace> = RefCell::new(AcqWorkspace::new());
+}
+
+/// Negated single-point acquisition as a minimization objective, with
+/// per-thread workspaces for the allocation-free posterior path and
+/// batched raw-candidate scoring through [`Acquisition::value_many`].
+struct NegAcq<'a> {
+    gp: &'a GaussianProcess,
+    acq: &'a dyn Acquisition,
+}
+
+impl GradObjective for NegAcq<'_> {
+    fn dim(&self) -> usize {
+        self.gp.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        ACQ_WS.with(|w| -self.acq.value_with(self.gp, x, &mut w.borrow_mut()))
+    }
+
+    fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        ACQ_WS.with(|w| {
+            let mut grad = Vec::with_capacity(x.len());
+            let v = self.acq.value_grad_into(self.gp, x, &mut w.borrow_mut(), &mut grad);
+            for g in grad.iter_mut() {
+                *g = -*g;
+            }
+            (-v, grad)
+        })
+    }
+}
+
+impl BatchObjective for NegAcq<'_> {
+    fn value_batch(&self, xs: &[f64], out: &mut [f64]) {
+        let d = self.gp.dim().max(1);
+        debug_assert_eq!(xs.len(), out.len() * d);
+        let pts = Matrix::from_vec(out.len(), d, xs.to_vec()).expect("block shape");
+        self.acq.value_many(self.gp, &pts, out);
+        for o in out.iter_mut() {
+            *o = -*o;
+        }
+    }
 }
 
 /// Maximize a single-point acquisition over `bounds` with multistart
 /// L-BFGS (the `optimize_acqf` analogue). Returns the maximizer; the
 /// reported `value` is the (positive) acquisition value.
+///
+/// Raw-Sobol candidates are scored in batched GP predictions and the
+/// per-start polishes run on `pbo_linalg::parallel` scoped threads; the
+/// result is bit-identical for any thread count (see
+/// `pbo_opt::multistart`).
 pub fn optimize_single(
     gp: &GaussianProcess,
     acq: &dyn Acquisition,
@@ -131,14 +297,7 @@ pub fn optimize_single(
     warm_starts: &[Vec<f64>],
     cfg: &MultistartConfig,
 ) -> OptResult {
-    let obj = FnGradObjective::new(
-        bounds.dim(),
-        |x: &[f64]| -acq.value(gp, x),
-        |x: &[f64]| {
-            let (v, g) = acq.value_grad(gp, x);
-            (-v, g.into_iter().map(|gi| -gi).collect())
-        },
-    );
+    let obj = NegAcq { gp, acq };
     let mut r = minimize_multistart(&obj, bounds, warm_starts, cfg);
     r.value = -r.value;
     r

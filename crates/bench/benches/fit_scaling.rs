@@ -31,6 +31,19 @@ use rand::Rng;
 
 const DIM: usize = 12;
 
+/// Seconds-scale smoke configuration for CI (`PBO_BENCH_SMOKE=1`).
+fn smoke() -> bool {
+    std::env::var_os("PBO_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn sizes(full: &'static [usize]) -> &'static [usize] {
+    if smoke() {
+        &full[..1]
+    } else {
+        full
+    }
+}
+
 fn dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
     let seeds = SeedStream::new(seed);
     let mut rng = seeds.fork_named("fit-scaling-data").rng();
@@ -150,10 +163,11 @@ fn mll_and_grad_pre(
 /// value (the multistart scoring path).
 fn bench_mll_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("fit_scaling");
-    g.measurement_time(std::time::Duration::from_secs(1));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+    let (meas, warm) = if smoke() { (150, 30) } else { (1000, 200) };
+    g.measurement_time(std::time::Duration::from_millis(meas));
+    g.warm_up_time(std::time::Duration::from_millis(warm));
     g.sample_size(10);
-    for &n in &[64usize, 128, 256, 512] {
+    for &n in sizes(&[64usize, 128, 256, 512]) {
         let (x, y) = dataset(n, 2);
         let y_std = standardized(&y);
         let params = mid_params();
@@ -244,10 +258,11 @@ fn fit_pre(x: &Matrix, y: &[f64], cfg: &FitConfig, seeds: &mut SeedStream) -> f6
 /// path, with identical start schedules and iteration budgets.
 fn bench_full_fit(c: &mut Criterion) {
     let mut g = c.benchmark_group("fit_scaling");
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+    let (meas, warm) = if smoke() { (150, 30) } else { (2000, 200) };
+    g.measurement_time(std::time::Duration::from_millis(meas));
+    g.warm_up_time(std::time::Duration::from_millis(warm));
     g.sample_size(10);
-    for &n in &[64usize, 128, 256] {
+    for &n in sizes(&[64usize, 128, 256]) {
         let (x, y) = dataset(n, 3);
         let cfg = FitConfig { restarts: 1, max_iters: 20, ..FitConfig::default() };
         g.bench_with_input(BenchmarkId::new("fit_prepr", n), &n, |b, _| {
@@ -269,10 +284,11 @@ fn bench_full_fit(c: &mut Criterion) {
 /// Reduced-budget warm refit (the per-cycle partial fit).
 fn bench_refit_warm(c: &mut Criterion) {
     let mut g = c.benchmark_group("fit_scaling");
-    g.measurement_time(std::time::Duration::from_secs(1));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+    let (meas, warm) = if smoke() { (150, 30) } else { (1000, 200) };
+    g.measurement_time(std::time::Duration::from_millis(meas));
+    g.warm_up_time(std::time::Duration::from_millis(warm));
     g.sample_size(10);
-    for &n in &[64usize, 128, 256] {
+    for &n in sizes(&[64usize, 128, 256]) {
         let (x, y) = dataset(n, 4);
         let cfg = FitConfig { restarts: 0, warm_iters: 10, ..FitConfig::default() };
         let mut seeds = SeedStream::new(13);
@@ -291,11 +307,12 @@ fn bench_refit_warm(c: &mut Criterion) {
 /// loop it replaced.
 fn bench_predict_many(c: &mut Criterion) {
     let mut g = c.benchmark_group("fit_scaling");
-    g.measurement_time(std::time::Duration::from_secs(1));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+    let (meas, warm) = if smoke() { (150, 30) } else { (1000, 200) };
+    g.measurement_time(std::time::Duration::from_millis(meas));
+    g.warm_up_time(std::time::Duration::from_millis(warm));
     g.sample_size(10);
     let q = 128usize;
-    for &n in &[64usize, 128, 256, 512] {
+    for &n in sizes(&[64usize, 128, 256, 512]) {
         let (x, y) = dataset(n, 5);
         let kernel = Kernel::new(KernelType::Matern52, DIM);
         let gp = GaussianProcess::new(x, &y, kernel, 1e-4).unwrap();

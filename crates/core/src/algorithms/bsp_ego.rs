@@ -38,7 +38,12 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
             leaves.iter().map(|&l| tree.bounds_of(l).clone()).collect();
 
         // One local EI maximization per cell, run concurrently; the
-        // clock models q workers sharing the 2q sub-problems.
+        // clock models q workers sharing the 2q sub-problems. The
+        // multistart inside each cell is itself parallel-capable, but
+        // workers spawned here are marked as inside a parallel region
+        // (`pbo_linalg::parallel`), so the nested fan-out degrades to
+        // the serial schedule instead of oversubscribing — and stays
+        // bit-identical to it by construction.
         let results: Vec<(Vec<f64>, f64)> =
             e.clock().charge_parallel(TimeCategory::Acquisition, q, || {
                 pbo_linalg::parallel::par_map(cells.len(), 1, |k| {

@@ -29,7 +29,70 @@ pub struct GaussianProcess {
     /// Profiled constant trend (standardized scale).
     trend: f64,
     chol: Cholesky,
+    /// Row-major transpose of the Cholesky factor. The single-point
+    /// posterior path runs its backward substitution over rows of this
+    /// matrix (contiguous; unrolled-`dot` reduction for long rows)
+    /// instead of columns of `L` (stride-n) — roughly an eighth of the
+    /// memory traffic, and several times the instruction-level
+    /// parallelism once rows exceed
+    /// [`pbo_linalg::cholesky::BIT_EXACT_MAX_N`].
+    lt: Matrix,
     alpha: Vec<f64>,
+}
+
+/// Reusable scratch for the allocation-free single-point posterior
+/// paths ([`GaussianProcess::predict_with`] and
+/// [`GaussianProcess::posterior_parts_with`]). Buffers grow to the
+/// training-set size on first use and are reused verbatim afterwards,
+/// so steady-state calls perform zero heap allocations. Keep one per
+/// thread (e.g. in a `thread_local!`) — the workspace itself is plain
+/// data and `Send`.
+#[derive(Debug, Default, Clone)]
+pub struct PredictWorkspace {
+    /// Cross-covariance row `k(x_train, p)`.
+    k: Vec<f64>,
+    /// Triangular-solve buffer; after `posterior_parts_with` it holds
+    /// `K_y⁻¹ k`.
+    c: Vec<f64>,
+    /// Radial gradient factors `s²·g(r_i)` per training point.
+    gf: Vec<f64>,
+    /// Reciprocal lengthscales `1/ℓ_j`, refreshed per call on the
+    /// large-system path (the same workspace serves different GPs,
+    /// e.g. across fantasy refits).
+    inv_ls: Vec<f64>,
+}
+
+impl PredictWorkspace {
+    /// Empty workspace; buffers are sized lazily by the GP calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.k.len() != n {
+            self.k.resize(n, 0.0);
+            self.c.resize(n, 0.0);
+            self.gf.resize(n, 0.0);
+        }
+    }
+
+    /// Cross-covariance row from the last `posterior_parts_with` call.
+    /// (Clobbered by `predict_with`, which reuses it as the solve buffer.)
+    pub fn cross(&self) -> &[f64] {
+        &self.k
+    }
+
+    /// `K_y⁻¹ k` from the last `posterior_parts_with` call.
+    pub fn solved(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Per-training-point radial gradient factors `s²·g(r_i)` from the
+    /// last `posterior_parts_with` call; feed them to
+    /// [`crate::kernel::Kernel::grad_wrt_query_from_factor`].
+    pub fn grad_factors(&self) -> &[f64] {
+        &self.gf
+    }
 }
 
 /// Floor on the standardization scale so constant targets don't divide
@@ -81,7 +144,8 @@ impl GaussianProcess {
         ky.add_diag(noise);
         let chol = Cholesky::factor(&ky)?;
         let (trend, alpha) = profiled_trend_and_alpha(&chol, &y_std)?;
-        Ok(GaussianProcess { kernel, noise, x, y_std, shift, scale, trend, chol, alpha })
+        let lt = chol.transposed_factor();
+        Ok(GaussianProcess { kernel, noise, x, y_std, shift, scale, trend, chol, lt, alpha })
     }
 
     /// Number of training points.
@@ -131,6 +195,55 @@ impl GaussianProcess {
         self.chol.solve_lower_in_place(&mut v);
         let var_std = (self.kernel.prior_var() - dot(&v, &v)).max(1e-14);
         (mean_std * self.scale + self.shift, var_std * self.scale * self.scale)
+    }
+
+    /// [`predict`](Self::predict) with a reusable workspace: bit-identical
+    /// results, zero heap allocations per call once the workspace has
+    /// warmed up to the training-set size.
+    pub fn predict_with(&self, p: &[f64], ws: &mut PredictWorkspace) -> (f64, f64) {
+        debug_assert_eq!(p.len(), self.dim());
+        ws.ensure(self.n());
+        self.kernel.cross_vec_into(&self.x, p, &mut ws.k);
+        let mean_std = self.trend + dot(&ws.k, &self.alpha);
+        // Same forward solve as `predict`, reusing k as the buffer.
+        self.chol.solve_lower_in_place(&mut ws.k);
+        let var_std = (self.kernel.prior_var() - dot(&ws.k, &ws.k)).max(1e-14);
+        (mean_std * self.scale + self.shift, var_std * self.scale * self.scale)
+    }
+
+    /// Standardized posterior mean and variance at `p`, leaving in `ws`
+    /// the intermediates the acquisition gradient needs: `ws.cross()` =
+    /// `k(x, p)`, `ws.solved()` = `K_y⁻¹ k`, `ws.grad_factors()` = the
+    /// radial factors for `∂k/∂p`. Zero heap allocations per call.
+    ///
+    /// This follows the allocating acquisition reference recipe —
+    /// variance from the full solve `kᵀ K_y⁻¹ k` (not the forward-only
+    /// form `predict` uses) — with the same arithmetic in the same
+    /// order for training sets up to
+    /// [`pbo_linalg::cholesky::BIT_EXACT_MAX_N`] points, so results
+    /// there are bit-identical to the `cross_vec` + `chol().solve(k)`
+    /// reference (covered by a test) and seeded BO trajectories are
+    /// unchanged. Beyond that threshold the hot path reassociates for
+    /// speed — reciprocal-lengthscale distances and the unrolled-`dot`
+    /// backward substitution — which reorders roundings only (agreement
+    /// to summation-order ulps). Either way the result is bitwise
+    /// deterministic for any thread count — the same code runs
+    /// everywhere. The caller applies the target standardization.
+    pub fn posterior_parts_with(&self, p: &[f64], ws: &mut PredictWorkspace) -> (f64, f64) {
+        debug_assert_eq!(p.len(), self.dim());
+        ws.ensure(self.n());
+        if self.n() > pbo_linalg::cholesky::BIT_EXACT_MAX_N {
+            self.kernel.inv_lengthscales_into(&mut ws.inv_ls);
+            self.kernel.cross_vec_grad_into_scaled(&self.x, p, &ws.inv_ls, &mut ws.k, &mut ws.gf);
+        } else {
+            self.kernel.cross_vec_grad_into(&self.x, p, &mut ws.k, &mut ws.gf);
+        }
+        let mean_std = self.trend + dot(&ws.k, &self.alpha);
+        ws.c.copy_from_slice(&ws.k);
+        self.chol.solve_lower_in_place(&mut ws.c);
+        pbo_linalg::cholesky::solve_transposed_in_place(&self.lt, &mut ws.c);
+        let var_std = (self.kernel.prior_var() - dot(&ws.k, &ws.c)).max(1e-14);
+        (mean_std, var_std)
     }
 
     /// Posterior mean only (cheaper: one dot product).
@@ -261,6 +374,7 @@ impl GaussianProcess {
         let mut y_std = self.y_std.clone();
         y_std.extend(ys.iter().map(|v| (v - self.shift) / self.scale));
         let (trend, alpha) = profiled_trend_and_alpha(&chol, &y_std)?;
+        let lt = chol.transposed_factor();
         Ok(GaussianProcess {
             kernel: self.kernel.clone(),
             noise: self.noise,
@@ -270,6 +384,7 @@ impl GaussianProcess {
             scale: self.scale,
             trend,
             chol,
+            lt,
             alpha,
         })
     }
@@ -446,6 +561,54 @@ mod tests {
         }
         let (em, ev) = gp.predict_many(&Matrix::zeros(0, 1));
         assert!(em.is_empty() && ev.is_empty());
+    }
+
+    #[test]
+    fn predict_with_is_bit_identical_to_predict() {
+        let gp = toy_gp(1e-6);
+        let mut ws = PredictWorkspace::new();
+        for i in 0..23 {
+            let p = [i as f64 * 0.13 - 0.4];
+            let (m0, v0) = gp.predict(&p);
+            let (m1, v1) = gp.predict_with(&p, &mut ws);
+            assert_eq!(m0.to_bits(), m1.to_bits(), "mean at {p:?}");
+            assert_eq!(v0.to_bits(), v1.to_bits(), "var at {p:?}");
+        }
+    }
+
+    #[test]
+    fn posterior_parts_match_allocating_reference() {
+        // The workspace posterior follows the allocating reference recipe
+        // the acquisition layer historically used — k = cross_vec,
+        // c = chol.solve(k), var = prior − kᵀc — with the same arithmetic
+        // in the same order, so at this size (below the backward-solve
+        // `BIT_EXACT_MAX_N` threshold) every value must be bit-identical:
+        // seeded BO trajectories depend on it.
+        let gp = toy_gp(1e-6);
+        let mut ws = PredictWorkspace::new();
+        for i in 0..17 {
+            let p = [i as f64 * 0.17 - 0.3];
+            let (mean_std, var_std) = gp.posterior_parts_with(&p, &mut ws);
+
+            let k = gp.kernel().cross_vec(gp.train_x(), &p);
+            let c = gp.chol().solve(&k).unwrap();
+            let mean_ref = gp.trend_std() + dot(&k, gp.weights());
+            let var_ref = (gp.kernel().prior_var() - dot(&k, &c)).max(1e-14);
+            assert!(mean_std.to_bits() == mean_ref.to_bits(), "mean at {p:?}: {mean_std} vs {mean_ref}");
+            assert!(var_std.to_bits() == var_ref.to_bits(), "var at {p:?}: {var_std} vs {var_ref}");
+            for (j, (&kw, &kr)) in ws.cross().iter().zip(&k).enumerate() {
+                assert!(kw.to_bits() == kr.to_bits(), "k[{j}] at {p:?}: {kw} vs {kr}");
+            }
+            for (j, (&cw, &cr)) in ws.solved().iter().zip(&c).enumerate() {
+                assert!(cw.to_bits() == cr.to_bits(), "c[{j}] at {p:?}: {cw} vs {cr}");
+            }
+            // Gradient factors match the scalar kernel path bit-for-bit.
+            for (i, &gf) in ws.grad_factors().iter().enumerate() {
+                let r = gp.kernel().scaled_dist(gp.train_x().row(i), &p);
+                let expect = gp.kernel().outputscale * gp.kernel().family.grad_factor(r);
+                assert!(gf.to_bits() == expect.to_bits(), "gf[{i}] at {p:?}: {gf} vs {expect}");
+            }
+        }
     }
 
     #[test]

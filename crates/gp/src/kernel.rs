@@ -178,17 +178,125 @@ impl Kernel {
         (0..x.rows()).map(|i| self.eval(x.row(i), p)).collect()
     }
 
+    /// [`cross_vec`](Self::cross_vec) into a caller-owned buffer
+    /// (bit-identical entries, zero allocations).
+    pub fn cross_vec_into(&self, x: &Matrix, p: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), x.rows());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.eval(x.row(i), p);
+        }
+    }
+
+    /// Fused cross-covariance + query-gradient factors against the rows
+    /// of `x`: `k_out[i] = k(x_i, p)` and `gf_out[i] = s²·g(r_i)`, the
+    /// scalar that [`grad_wrt_query_from_factor`](Self::grad_wrt_query_from_factor)
+    /// turns into `∂k/∂p`. One distance + one shared transcendental per
+    /// row instead of two of each; entries are bit-identical to
+    /// [`cross_vec`](Self::cross_vec) and the factor inside
+    /// [`grad_wrt_query`](Self::grad_wrt_query) (see
+    /// [`KernelType::rho_and_grad`]).
+    pub fn cross_vec_grad_into(&self, x: &Matrix, p: &[f64], k_out: &mut [f64], gf_out: &mut [f64]) {
+        debug_assert_eq!(k_out.len(), x.rows());
+        debug_assert_eq!(gf_out.len(), x.rows());
+        for i in 0..x.rows() {
+            let r = self.scaled_dist(x.row(i), p);
+            let (rho, g) = self.family.rho_and_grad(r);
+            k_out[i] = self.outputscale * rho;
+            gf_out[i] = self.outputscale * g;
+        }
+    }
+
+    /// Fill `out` with the squared lengthscales `ℓ_j²` (reusing its
+    /// capacity; no allocation once it has warmed up to the dimension).
+    /// Hot gradient loops hoist these out of their per-point inner loop;
+    /// dividing by the precomputed product is bit-identical to dividing
+    /// by `ℓ_j * ℓ_j` formed in place, so fused accumulations built on
+    /// it (see `pbo_acq::posterior_with_grad_ws`) reproduce
+    /// [`grad_wrt_query`](Self::grad_wrt_query) exactly.
+    pub fn sq_lengthscales_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.lengthscales.iter().map(|l| l * l));
+    }
+
+    /// [`cross_vec_grad_into`](Self::cross_vec_grad_into) with the
+    /// reciprocal lengthscales precomputed by the caller (`inv_ls[j] =
+    /// 1/ℓ_j`, see [`inv_lengthscales_into`](Self::inv_lengthscales_into)):
+    /// the per-element division inside the scaled distance becomes a
+    /// multiplication, removing `n·d` divides per posterior call.
+    /// Entries agree with the division form to a rounding ulp per
+    /// coordinate — a reassociation, not a bit-identical rewrite, so the
+    /// posterior hot path only selects this variant above the
+    /// large-system threshold (`pbo_linalg::cholesky::BIT_EXACT_MAX_N`)
+    /// where the bit-exactness guarantee is already off.
+    pub fn cross_vec_grad_into_scaled(
+        &self,
+        x: &Matrix,
+        p: &[f64],
+        inv_ls: &[f64],
+        k_out: &mut [f64],
+        gf_out: &mut [f64],
+    ) {
+        debug_assert_eq!(k_out.len(), x.rows());
+        debug_assert_eq!(gf_out.len(), x.rows());
+        debug_assert_eq!(inv_ls.len(), p.len());
+        for i in 0..x.rows() {
+            let r = pbo_linalg::vec_ops::weighted_dist2(x.row(i), p, inv_ls).sqrt();
+            let (rho, g) = self.family.rho_and_grad(r);
+            k_out[i] = self.outputscale * rho;
+            gf_out[i] = self.outputscale * g;
+        }
+    }
+
+    /// Fill `out` with the reciprocal lengthscales `1/ℓ_j` (reusing its
+    /// capacity), the weights
+    /// [`cross_vec_grad_into_scaled`](Self::cross_vec_grad_into_scaled)
+    /// wants.
+    pub fn inv_lengthscales_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.lengthscales.iter().map(|l| 1.0 / l));
+    }
+
+    /// Fill `out` with the reciprocal squared lengthscales `1/ℓ_j²`
+    /// (reusing its capacity), for division-free gradient accumulations
+    /// on the large-system path.
+    pub fn inv_sq_lengthscales_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.lengthscales.iter().map(|l| 1.0 / (l * l)));
+    }
+
     /// Gradient of `k(p, b)` with respect to the query point `p`:
     /// `∂k/∂p_j = −s² g(r) (p_j − b_j)/ℓ_j²`, finite at `p = b` for every
     /// family (the radial factor `g` absorbs the `1/r` singularity).
     pub fn grad_wrt_query(&self, p: &[f64], b: &[f64], out: &mut [f64]) {
-        debug_assert_eq!(out.len(), p.len());
         let r = self.scaled_dist(p, b);
         let gf = self.outputscale * self.family.grad_factor(r);
+        self.grad_wrt_query_from_factor(gf, p, b, out);
+    }
+
+    /// [`grad_wrt_query`](Self::grad_wrt_query) with the radial factor
+    /// `gf = s²·g(r)` already in hand (e.g. from
+    /// [`cross_vec_grad_into`](Self::cross_vec_grad_into)).
+    #[inline]
+    pub fn grad_wrt_query_from_factor(&self, gf: f64, p: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), p.len());
         for j in 0..p.len() {
             let l2 = self.lengthscales[j] * self.lengthscales[j];
             out[j] = -gf * (p[j] - b[j]) / l2;
         }
+    }
+
+    /// [`cross_matrix`](Self::cross_matrix) into a caller-owned matrix
+    /// which is reshaped in place (reusing its allocation when capacity
+    /// allows). Entries are bit-identical.
+    pub fn cross_matrix_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        out.reset_zeros(a.rows(), b.rows());
+        let work = a.rows() * b.rows() * (8 * self.dim() + 16);
+        pbo_linalg::parallel::for_each_row_chunk(out.as_mut_slice(), b.rows(), work, |i, row| {
+            let ra = a.row(i);
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = self.eval(ra, b.row(j));
+            }
+        });
     }
 }
 
@@ -289,6 +397,18 @@ mod tests {
         assert!((k.eval(&a, &b) - 1.0).abs() < 1e-3);
         let c = [0.4, 0.0];
         assert!(k.eval(&a, &c) < 0.5);
+    }
+
+    #[test]
+    fn sq_lengthscales_reproduce_inline_products() {
+        let mut k = Kernel::new(KernelType::Matern52, 3);
+        k.lengthscales = vec![0.23, 0.61, 1.4];
+        let mut l2 = Vec::new();
+        k.sq_lengthscales_into(&mut l2);
+        for (j, &v) in l2.iter().enumerate() {
+            let inline = k.lengthscales[j] * k.lengthscales[j];
+            assert!(v.to_bits() == inline.to_bits(), "l2[{j}]");
+        }
     }
 
     #[test]

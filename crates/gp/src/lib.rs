@@ -31,7 +31,7 @@ pub mod kernel;
 pub mod workspace;
 
 pub use fit::{FitConfig, FitReport};
-pub use gp::GaussianProcess;
+pub use gp::{GaussianProcess, PredictWorkspace};
 pub use kernel::{Kernel, KernelType};
 pub use workspace::FitWorkspace;
 

@@ -24,6 +24,17 @@ impl Matrix {
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Reshape to `rows x cols` in place, reusing the backing allocation
+    /// when its capacity allows. Every entry is reset to zero; previous
+    /// contents are discarded. This is the workspace-reuse primitive for
+    /// hot paths that would otherwise allocate a fresh matrix per call.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);

@@ -5,7 +5,9 @@
 //! parallelism is short-lived fork/join over row blocks. Scoped threads
 //! give data-race-free borrowing of the output buffer without `Arc`.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Work (in flop-ish units) below which spawning threads costs more than
 /// it saves. Tuned conservatively; correctness does not depend on it.
@@ -13,17 +15,59 @@ const PAR_THRESHOLD: usize = 1 << 21;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// Set for the lifetime of every scoped worker thread spawned by this
+    /// module. Workers report `num_threads() == 1`, so nested fan-outs
+    /// (e.g. a multistart polished inside BSP-EGO's per-cell `par_map`)
+    /// degrade to sequential execution instead of oversubscribing.
+    /// Workers are fresh threads per scope, so the flag needs no reset.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a scoped worker thread spawned by one of
+/// the fan-out helpers in this module.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(Cell::get)
+}
+
+fn enter_parallel_region() {
+    IN_PARALLEL_REGION.with(|c| c.set(true));
+}
+
 /// Override the number of worker threads used by the dense kernels
-/// (0 = use available parallelism). Mostly for tests and benchmarks.
+/// (0 = use `PBO_NUM_THREADS` or available parallelism). Mostly for
+/// tests and benchmarks.
 pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// `PBO_NUM_THREADS` environment override, parsed once per process.
+fn env_threads() -> usize {
+    static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("PBO_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
 /// Number of threads the kernels will fan out to.
+///
+/// Resolution order: nested-region guard (always 1 inside a worker),
+/// then [`set_num_threads`], then the `PBO_NUM_THREADS` environment
+/// variable, then `std::thread::available_parallelism()`.
 pub fn num_threads() -> usize {
+    if in_parallel_region() {
+        return 1;
+    }
     let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {
         return over;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -55,6 +99,7 @@ where
         for (t, block) in out.chunks_mut(rows_per * width).enumerate() {
             let f = &f;
             s.spawn(move || {
+                enter_parallel_region();
                 let base = t * rows_per;
                 for (k, row) in block.chunks_mut(width).enumerate() {
                     f(base + k, row);
@@ -107,6 +152,7 @@ where
             rest = tail;
             let f = &f;
             s.spawn(move || {
+                enter_parallel_region();
                 let mut at = 0;
                 for i in r0..r1 {
                     let len = offsets[i + 1] - offsets[i];
@@ -142,6 +188,7 @@ where
         for (t, block) in out.chunks_mut(per).enumerate() {
             let f = &f;
             s.spawn(move || {
+                enter_parallel_region();
                 let base = t * per;
                 for (k, slot) in block.iter_mut().enumerate() {
                     *slot = f(base + k);
@@ -221,11 +268,43 @@ mod tests {
         assert!(a.is_empty());
     }
 
+    /// The thread-count override is process-global; tests that touch it
+    /// serialize here so they can't observe each other's settings.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn thread_override_roundtrip() {
+        let _g = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_report_single_thread_inside_region() {
+        let _g = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(4);
+        // Force the parallel path; every worker must see itself as the
+        // only thread so nested fan-outs stay sequential.
+        let flags = par_map(64, 0, |_| (in_parallel_region(), num_threads()));
+        set_num_threads(0);
+        assert!(flags.iter().all(|&(inside, n)| inside && n == 1));
+        // The caller's thread is unaffected once the scope ends.
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn nested_par_map_degrades_to_serial_and_matches() {
+        let _g = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(4);
+        let nested = par_map(8, 0, |i| {
+            let inner = par_map(16, 0, |j| (i * 16 + j) as f64);
+            inner.iter().sum::<f64>()
+        });
+        set_num_threads(0);
+        let expect: Vec<f64> =
+            (0..8).map(|i| (0..16).map(|j| (i * 16 + j) as f64).sum()).collect();
+        assert_eq!(nested, expect);
     }
 }

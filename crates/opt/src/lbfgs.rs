@@ -101,8 +101,8 @@ struct LsPoint {
 /// projected path. Returns `None` when no acceptable step exists within
 /// the evaluation budget.
 #[allow(clippy::too_many_arguments)]
-fn wolfe_search(
-    obj: &dyn GradObjective,
+fn wolfe_search<O: GradObjective + ?Sized>(
+    obj: &O,
     bounds: &Bounds,
     x: &[f64],
     f0: f64,
@@ -189,8 +189,12 @@ fn wolfe_search(
 }
 
 /// Minimize `obj` over the box `bounds` starting from `x0`.
-pub fn minimize(
-    obj: &dyn GradObjective,
+///
+/// Generic over the objective (rather than `&dyn GradObjective`) so the
+/// multistart driver can hand in `?Sized` trait objects and concrete
+/// acquisition objectives without trait upcasting.
+pub fn minimize<O: GradObjective + ?Sized>(
+    obj: &O,
     bounds: &Bounds,
     x0: &[f64],
     cfg: &LbfgsConfig,
@@ -205,7 +209,7 @@ pub fn minimize(
     let mut iters = 0;
 
     if !f.is_finite() {
-        return OptResult { x, value: f, evals, iters, converged: false };
+        return OptResult { x, value: f, evals, iters, converged: false, restart_shortfall: 0 };
     }
 
     for it in 0..cfg.max_iters {
@@ -262,7 +266,7 @@ pub fn minimize(
         }
     }
 
-    OptResult { x, value: f, evals, iters, converged }
+    OptResult { x, value: f, evals, iters, converged, restart_shortfall: 0 }
 }
 
 #[cfg(test)]

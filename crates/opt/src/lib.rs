@@ -124,6 +124,38 @@ pub trait GradObjective {
     fn value_grad(&self, x: &[f64]) -> (f64, Vec<f64>);
 }
 
+/// A [`GradObjective`] that can also score a whole block of candidates
+/// in one call and be shared across scoped threads.
+///
+/// The multistart driver uses `value_batch` for its raw-Sobol scoring
+/// phase — acquisition objectives implement it with one batched GP
+/// prediction (`predict_many`) instead of `raw_samples` single-point
+/// posterior solves — and relies on `Sync` to fan raw scoring and
+/// per-start polishing out over `pbo_linalg::parallel` scoped threads.
+///
+/// The default implementation scores point by point, so any `Sync`
+/// gradient objective is a valid (if unbatched) `BatchObjective`.
+pub trait BatchObjective: GradObjective + Sync {
+    /// Score `xs` (row-major, `xs.len() / dim()` points) into `out`,
+    /// one value per point. Must agree with [`GradObjective::value`] up
+    /// to batched-summation rounding (a few ulps).
+    fn value_batch(&self, xs: &[f64], out: &mut [f64]) {
+        let d = self.dim().max(1);
+        debug_assert_eq!(xs.len() % d, 0);
+        debug_assert_eq!(out.len(), xs.len() / d);
+        for (x, o) in xs.chunks_exact(d).zip(out.iter_mut()) {
+            *o = self.value(x);
+        }
+    }
+}
+
+impl<V, G> BatchObjective for FnGradObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64 + Sync,
+    G: Fn(&[f64]) -> (f64, Vec<f64>) + Sync,
+{
+}
+
 /// Wrap a pair of closures as a [`GradObjective`].
 pub struct FnGradObjective<V, G> {
     dim: usize,
@@ -259,6 +291,11 @@ pub struct OptResult {
     pub iters: usize,
     /// True if a convergence test triggered (vs budget exhaustion).
     pub converged: bool,
+    /// Restart starvation reported by the multistart drivers: how many of
+    /// the requested raw-sample restarts could not be filled with
+    /// finite-scoring candidates even after Sobol backfill (0 for local
+    /// optimizers and for healthy multistarts).
+    pub restart_shortfall: usize,
 }
 
 #[cfg(test)]

@@ -32,8 +32,8 @@ const RHO: f64 = 0.5; // contraction
 const SIGMA: f64 = 0.5; // shrink
 
 /// Minimize `f` over `bounds` starting from `x0`.
-pub fn minimize(
-    f: &dyn Fn(&[f64]) -> f64,
+pub fn minimize<F: Fn(&[f64]) -> f64 + ?Sized>(
+    f: &F,
     bounds: &Bounds,
     x0: &[f64],
     cfg: &NelderMeadConfig,
@@ -86,6 +86,7 @@ pub fn minimize(
                 evals,
                 iters,
                 converged: true,
+                restart_shortfall: 0,
             };
         }
 
@@ -149,7 +150,14 @@ pub fn minimize(
         order(&mut simplex, &mut values);
     }
 
-    OptResult { x: simplex[0].clone(), value: values[0], evals, iters, converged: false }
+    OptResult {
+        x: simplex[0].clone(),
+        value: values[0],
+        evals,
+        iters,
+        converged: false,
+        restart_shortfall: 0,
+    }
 }
 
 #[cfg(test)]

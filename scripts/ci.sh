@@ -20,4 +20,21 @@ fi
 echo "== cargo test -q (workspace, warnings are errors) =="
 cargo test -q
 
+# The acquisition multistart is parallel but must be bit-identical for
+# any compute-thread count; replay the determinism suite under two
+# global thread settings (PBO_NUM_THREADS is the env-level override of
+# pbo_linalg::parallel::set_num_threads).
+echo "== determinism suite at 1 and 4 compute threads =="
+PBO_NUM_THREADS=1 cargo test -q --test determinism
+PBO_NUM_THREADS=4 cargo test -q --test determinism
+
+if [[ "${1:-}" != "--quick" ]]; then
+  # Seconds-scale smoke pass over the perf benches: catches bench-code
+  # rot and the in-bench pre-PR equivalence guards without paying for a
+  # full measurement run.
+  echo "== bench smoke (PBO_BENCH_SMOKE=1) =="
+  PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench acquisition_scaling
+  PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench fit_scaling
+fi
+
 echo "CI gate passed."

@@ -128,6 +128,67 @@ fn zero_fault_plan_is_bit_identical_to_unwrapped_problem() {
     assert_eq!(wrapped.injection_log().total(), 0);
 }
 
+// ---------------------------------------------------------------------
+// Acquisition-thread bit-identity: the multistart acquisition optimizer
+// fans raw scoring and per-start polishing out over
+// `pbo_linalg::parallel` scoped threads, reducing by `(value,
+// start_index)`. These tests mirror the eval-worker suite one level
+// down: the full trace must be bit-identical whatever the *compute*
+// thread count, with and without injected faults.
+// ---------------------------------------------------------------------
+
+/// The thread override is process-global, so tests that touch it must
+/// not interleave.
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const ALL_SIX: [AlgorithmKind; 6] = [
+    AlgorithmKind::KbQEgo,
+    AlgorithmKind::MicQEgo,
+    AlgorithmKind::McQEgo,
+    AlgorithmKind::BspEgo,
+    AlgorithmKind::Turbo,
+    AlgorithmKind::RandomSearch,
+];
+
+fn at_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    pbo::linalg::parallel::set_num_threads(threads);
+    let out = f();
+    pbo::linalg::parallel::set_num_threads(0);
+    out
+}
+
+#[test]
+fn same_seed_same_trace_regardless_of_thread_count_clean() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    for algo in ALL_SIX {
+        let base = at_threads(1, || fingerprint(&run_clean(algo, 53, 2)));
+        for threads in [2, 6] {
+            let other = at_threads(threads, || fingerprint(&run_clean(algo, 53, 2)));
+            assert_eq!(
+                base, other,
+                "{algo:?}: 1-thread vs {threads}-thread traces diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_trace_regardless_of_thread_count_faulty() {
+    silence_injected_panics();
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    for algo in ALL_SIX {
+        let base = at_threads(1, || fingerprint(&run_faulty(algo, 47, 2)));
+        for threads in [4] {
+            let other = at_threads(threads, || fingerprint(&run_faulty(algo, 47, 2)));
+            assert_eq!(
+                base, other,
+                "{algo:?}: faulty 1-thread vs {threads}-thread traces diverged"
+            );
+        }
+        assert!(base.3.iter().take(6).any(|&c| c > 0), "{algo:?}: no faults injected");
+    }
+}
+
 #[test]
 fn faulty_run_ends_with_finite_incumbent_and_clean_dataset() {
     silence_injected_panics();

@@ -187,6 +187,13 @@ fn time_batch(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
 }
 
 fn run_one(id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Substring filter, mirroring `cargo bench -- <filter>` upstream
+    // (harness CLI args don't reach the shim, so an env var stands in).
+    if let Ok(filter) = std::env::var("CRITERION_SHIM_FILTER") {
+        if !filter.is_empty() && !id.contains(&filter) {
+            return;
+        }
+    }
     // Warm-up doubles the batch size until the configured wall time passes,
     // leaving a per-iteration estimate for sample sizing.
     let warm_start = Instant::now();
