@@ -302,15 +302,28 @@ impl QExpectedImprovement {
     }
 }
 
+/// Result of one joint q-EI maximization.
+#[derive(Debug, Clone)]
+pub struct QeiOutcome {
+    /// The optimized batch (q points).
+    pub batch: Vec<Vec<f64>>,
+    /// Achieved q-EI value (maximization-oriented, ≥ 0 at an optimum).
+    pub value: f64,
+    /// Objective evaluations spent across all restarts.
+    pub evals: usize,
+    /// Requested multistart restarts lost to non-finite objectives.
+    pub restart_shortfall: usize,
+}
+
 /// Maximize q-EI over the `q·d`-dimensional joint space with multistart
-/// L-BFGS. Returns the batch (q points) and the achieved qEI value.
+/// L-BFGS.
 pub fn optimize_qei(
     gp: &GaussianProcess,
     qei: &QExpectedImprovement,
     bounds: &Bounds,
     warm_starts: &[Vec<Vec<f64>>],
     cfg: &MultistartConfig,
-) -> (Vec<Vec<f64>>, f64, usize) {
+) -> QeiOutcome {
     let q = qei.q;
     let d = bounds.dim();
     let mut lo = Vec::with_capacity(q * d);
@@ -338,7 +351,12 @@ pub fn optimize_qei(
     let r = minimize_multistart(&obj, &flat_bounds, &warm_flat, cfg);
     let batch: Vec<Vec<f64>> =
         (0..q).map(|j| r.x[j * d..(j + 1) * d].to_vec()).collect();
-    (batch, -r.value, r.evals)
+    QeiOutcome {
+        batch,
+        value: -r.value,
+        evals: r.evals,
+        restart_shortfall: r.restart_shortfall,
+    }
 }
 
 #[cfg(test)]
@@ -425,12 +443,12 @@ mod tests {
         let qei = QExpectedImprovement::new(f_best, 2, 256, 9);
         let bounds = Bounds::unit(2);
         let cfg = MultistartConfig { raw_samples: 16, restarts: 3, ..Default::default() };
-        let (batch, value, _) = optimize_qei(&gp, &qei, &bounds, &[], &cfg);
-        assert_eq!(batch.len(), 2);
-        for p in &batch {
+        let out = optimize_qei(&gp, &qei, &bounds, &[], &cfg);
+        assert_eq!(out.batch.len(), 2);
+        for p in &out.batch {
             assert!(bounds.contains(p), "{p:?}");
         }
-        assert!(value >= 0.0);
+        assert!(out.value >= 0.0);
     }
 
     #[test]

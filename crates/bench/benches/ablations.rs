@@ -77,8 +77,11 @@ fn ablation_bsp_cells(c: &mut Criterion) {
     let gp = GaussianProcess::new(x, &y, kernel, 1e-4).unwrap();
     let f_best = gp.best_observed(false);
     let cfg = pbo_core::engine::AlgoConfig {
-        acq_restarts: 2,
-        acq_raw_samples: 16,
+        acq: pbo_core::engine::AcqConfig {
+            restarts: 2,
+            raw_samples: 16,
+            ..pbo_core::engine::AcqConfig::default()
+        },
         ..pbo_core::engine::AlgoConfig::default()
     };
     let mut g = c.benchmark_group("ablation_bsp_cell_factor");

@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pbo_acq::single::ExpectedImprovement;
 use pbo_acq::Acquisition;
 use pbo_core::algorithms::{kb_qego, mic_qego, qei_multistart};
-use pbo_core::engine::AlgoConfig;
+use pbo_core::engine::{AcqConfig, AlgoConfig, QeiConfig};
 use pbo_gp::kernel::{Kernel, KernelType};
 use pbo_gp::GaussianProcess;
 use pbo_linalg::Matrix;
@@ -71,11 +71,8 @@ fn fitted_gp(n: usize) -> GaussianProcess {
 
 fn cfg() -> AlgoConfig {
     AlgoConfig {
-        acq_restarts: 2,
-        acq_raw_samples: 24,
-        qei_samples: 64,
-        qei_restarts: 2,
-        qei_raw_samples: 8,
+        acq: AcqConfig { restarts: 2, raw_samples: 24, ..AcqConfig::default() },
+        qei: QeiConfig { samples: 64, restarts: 2, raw_samples: 8 },
         ..AlgoConfig::default()
     }
 }
@@ -88,7 +85,7 @@ fn bench_kb(c: &mut Criterion) {
     tune(&mut g);
     for &q in q_grid() {
         g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| kb_qego::kb_batch(&gp, &bounds, q, &cfg, 1).len())
+            b.iter(|| kb_qego::kb_batch(&gp, &bounds, q, &cfg, 1).0.len())
         });
     }
     g.finish();
@@ -102,7 +99,7 @@ fn bench_mic(c: &mut Criterion) {
     tune(&mut g);
     for &q in q_grid() {
         g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| mic_qego::mic_batch(&gp, &bounds, q, &cfg, 1).len())
+            b.iter(|| mic_qego::mic_batch(&gp, &bounds, q, &cfg, 1).0.len())
         });
     }
     g.finish();
@@ -117,9 +114,9 @@ fn bench_mc_qei(c: &mut Criterion) {
     tune(&mut g);
     for &q in q_grid() {
         g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            let qei = pbo_acq::mc::QExpectedImprovement::new(f_best, q, cfg.qei_samples, 3);
+            let qei = pbo_acq::mc::QExpectedImprovement::new(f_best, q, cfg.qei.samples, 3);
             let ms = qei_multistart(&cfg, 3);
-            b.iter(|| pbo_acq::mc::optimize_qei(&gp, &qei, &bounds, &[], &ms).1)
+            b.iter(|| pbo_acq::mc::optimize_qei(&gp, &qei, &bounds, &[], &ms).value)
         });
     }
     g.finish();

@@ -7,16 +7,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pbo_core::algorithms::{run_algorithm_with, AlgorithmKind};
 use pbo_core::budget::Budget;
 use pbo_core::clock::CostModel;
-use pbo_core::engine::AlgoConfig;
+use pbo_core::engine::{AcqConfig, AlgoConfig, QeiConfig};
 use pbo_problems::{SyntheticFn, UphesProblem};
 
 fn quick_cfg() -> AlgoConfig {
     AlgoConfig {
-        acq_restarts: 2,
-        acq_raw_samples: 16,
-        qei_samples: 48,
-        qei_restarts: 2,
-        qei_raw_samples: 8,
+        acq: AcqConfig { restarts: 2, raw_samples: 16, ..AcqConfig::default() },
+        qei: QeiConfig { samples: 48, restarts: 2, raw_samples: 8 },
         cost_model: CostModel::Fixed { per_call: 1.0 },
         ..AlgoConfig::default()
     }

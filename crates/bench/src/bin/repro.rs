@@ -396,10 +396,8 @@ fn ablation_fantasy(opts: &Opts) {
         ("constant-liar-min", FantasyKind::ConstantLiarMin),
         ("constant-liar-max", FantasyKind::ConstantLiarMax),
     ] {
-        let cfg = pbo_core::engine::AlgoConfig {
-            kb_fantasy: kind,
-            ..opts.profile.algo_config()
-        };
+        let mut cfg = opts.profile.algo_config();
+        cfg.acq.kb_fantasy = kind;
         let recs: Vec<RunRecord> = (0..runs)
             .map(|r| {
                 run_algorithm_with(

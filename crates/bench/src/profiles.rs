@@ -8,7 +8,7 @@
 
 use pbo_core::budget::Budget;
 use pbo_core::clock::CostModel;
-use pbo_core::engine::AlgoConfig;
+use pbo_core::engine::{AcqConfig, AlgoConfig, QeiConfig};
 use pbo_gp::FitConfig;
 
 /// Experiment scale.
@@ -82,11 +82,8 @@ impl Profile {
                     ..FitConfig::default()
                 },
                 full_fit_every: 8,
-                acq_restarts: 4,
-                acq_raw_samples: 48,
-                qei_samples: 96,
-                qei_restarts: 3,
-                qei_raw_samples: 16,
+                acq: AcqConfig { restarts: 4, raw_samples: 48, ..AcqConfig::default() },
+                qei: QeiConfig { samples: 96, restarts: 3, raw_samples: 16 },
                 cost_model: CostModel::Measured { overhead_scale: OVERHEAD_SCALE },
                 ..AlgoConfig::default()
             },
@@ -99,11 +96,8 @@ impl Profile {
                     ..FitConfig::default()
                 },
                 full_fit_every: 6,
-                acq_restarts: 2,
-                acq_raw_samples: 16,
-                qei_samples: 48,
-                qei_restarts: 2,
-                qei_raw_samples: 8,
+                acq: AcqConfig { restarts: 2, raw_samples: 16, ..AcqConfig::default() },
+                qei: QeiConfig { samples: 48, restarts: 2, raw_samples: 8 },
                 cost_model: CostModel::Measured { overhead_scale: OVERHEAD_SCALE },
                 ..AlgoConfig::default()
             },

@@ -13,18 +13,16 @@
 
 use super::acq_multistart;
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine};
 use crate::partition::BspTree;
 use crate::record::RunRecord;
 use pbo_acq::single::{optimize_single, ExpectedImprovement};
 use pbo_problems::Problem;
 
-/// Run BSP-EGO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "bsp-ego");
+/// Drive a prepared engine with BSP-EGO to budget exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     let q = e.q();
-    let n_cells = (e.cfg().bsp_cells_factor * q).max(2);
+    let n_cells = (e.cfg().acq.bsp_cells_factor * q).max(2);
     let mut tree = BspTree::new(e.unit_bounds(), n_cells);
 
     while e.should_continue() {
@@ -44,18 +42,19 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         // (`pbo_linalg::parallel`), so the nested fan-out degrades to
         // the serial schedule instead of oversubscribing — and stays
         // bit-identical to it by construction.
-        let results: Vec<(Vec<f64>, f64)> =
-            e.clock().charge_parallel(TimeCategory::Acquisition, q, || {
-                pbo_linalg::parallel::par_map(cells.len(), 1, |k| {
-                    let ei = ExpectedImprovement { f_best };
-                    let ms = acq_multistart(&cfg, acq_seed.wrapping_add(k as u64));
-                    let r = optimize_single(&gp, &ei, &cells[k], &[], &ms);
-                    (r.x, r.value)
-                })
+        let results: Vec<(Vec<f64>, f64, usize)> = e.charge_acquisition(q, || {
+            let per_cell = pbo_linalg::parallel::par_map(cells.len(), 1, |k| {
+                let ei = ExpectedImprovement { f_best };
+                let ms = acq_multistart(&cfg, acq_seed.wrapping_add(k as u64));
+                let r = optimize_single(&gp, &ei, &cells[k], &[], &ms);
+                (r.x, r.value, r.restart_shortfall)
             });
+            let shortfall = per_cell.iter().map(|(_, _, s)| *s).sum();
+            (per_cell, shortfall)
+        });
 
         // Per-leaf scores drive the partition evolution.
-        let scores: Vec<f64> = results.iter().map(|(_, v)| *v).collect();
+        let scores: Vec<f64> = results.iter().map(|(_, v, _)| *v).collect();
 
         // Top-q candidates by EI across all cells.
         let mut order: Vec<usize> = (0..results.len()).collect();
@@ -68,6 +67,18 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         e.commit_batch(batch);
     }
     e.finish()
+}
+
+/// Run BSP-EGO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("bsp-ego")
+        .build()
+        .expect("invalid BSP-EGO configuration");
+    drive(e)
 }
 
 #[cfg(test)]

@@ -10,7 +10,6 @@
 
 use super::acq_multistart;
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine, FantasyKind};
 use crate::record::RunRecord;
 use pbo_acq::single::{optimize_single, ExpectedImprovement};
@@ -18,25 +17,28 @@ use pbo_gp::GaussianProcess;
 use pbo_opt::Bounds;
 use pbo_problems::Problem;
 
-/// Build one Kriging-Believer batch of `q` candidates.
+/// Build one Kriging-Believer batch of `q` candidates. Returns the
+/// batch plus the summed multistart restart shortfall.
 pub fn kb_batch(
     gp: &GaussianProcess,
     bounds: &Bounds,
     q: usize,
     cfg: &AlgoConfig,
     seed: u64,
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, usize) {
     let mut model = gp.clone();
     let mut batch = Vec::with_capacity(q);
+    let mut shortfall = 0usize;
     for i in 0..q {
         let f_best = model.best_observed(false);
         let ei = ExpectedImprovement { f_best };
         let ms = acq_multistart(cfg, seed.wrapping_add(i as u64));
         let r = optimize_single(&model, &ei, bounds, &[], &ms);
+        shortfall += r.restart_shortfall;
         if i + 1 < q {
             // Fantasy conditioning (the believer by default; constant
             // liars for the ablation study).
-            let y_fantasy = match cfg.kb_fantasy {
+            let y_fantasy = match cfg.acq.kb_fantasy {
                 FantasyKind::PosteriorMean => model.predict_mean(&r.x),
                 FantasyKind::ConstantLiarMin => model.best_observed(false),
                 FantasyKind::ConstantLiarMax => model.best_observed(true),
@@ -47,12 +49,11 @@ pub fn kb_batch(
         }
         batch.push(r.x);
     }
-    batch
+    (batch, shortfall)
 }
 
-/// Run KB-q-EGO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "kb-q-ego");
+/// Drive a prepared engine with KB-q-EGO to budget exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     while e.should_continue() {
         e.fit_model();
         let q = e.q();
@@ -60,13 +61,23 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         let cfg = e.cfg().clone();
         let acq_seed = e.seeds().fork(0xACC).next_seed();
         let gp = e.gp().clone();
-        let mut batch = e
-            .clock()
-            .charge(TimeCategory::Acquisition, || kb_batch(&gp, &bounds, q, &cfg, acq_seed));
+        let mut batch = e.charge_acquisition(1, || kb_batch(&gp, &bounds, q, &cfg, acq_seed));
         e.sanitize_batch(&mut batch);
         e.commit_batch(batch);
     }
     e.finish()
+}
+
+/// Run KB-q-EGO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("kb-q-ego")
+        .build()
+        .expect("invalid KB-q-EGO configuration");
+    drive(e)
 }
 
 #[cfg(test)]

@@ -9,16 +9,14 @@
 
 use super::{acq_multistart, qei_multistart};
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
 use pbo_acq::mc::{optimize_qei, QExpectedImprovement};
 use pbo_acq::single::{optimize_single, ExpectedImprovement};
 use pbo_problems::Problem;
 
-/// Run MC-based q-EGO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "mc-q-ego");
+/// Drive a prepared engine with MC-based q-EGO to budget exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     while e.should_continue() {
         e.fit_model();
         let q = e.q();
@@ -27,23 +25,37 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         let acq_seed = e.seeds().fork(0xACC).next_seed();
         let gp = e.gp().clone();
         let f_best = gp.best_observed(false);
-        let mut batch = e.clock().charge(TimeCategory::Acquisition, || {
+        let mut batch = e.charge_acquisition(1, || {
             if q == 1 {
                 // Table 3: all methods use plain EI at q = 1.
                 let ei = ExpectedImprovement { f_best };
                 let ms = acq_multistart(&cfg, acq_seed);
-                vec![optimize_single(&gp, &ei, &bounds, &[], &ms).x]
+                let r = optimize_single(&gp, &ei, &bounds, &[], &ms);
+                (vec![r.x], r.restart_shortfall)
             } else {
                 let qei =
-                    QExpectedImprovement::new(f_best, q, cfg.qei_samples, acq_seed ^ 0x5A);
+                    QExpectedImprovement::new(f_best, q, cfg.qei.samples, acq_seed ^ 0x5A);
                 let ms = qei_multistart(&cfg, acq_seed);
-                optimize_qei(&gp, &qei, &bounds, &[], &ms).0
+                let out = optimize_qei(&gp, &qei, &bounds, &[], &ms);
+                (out.batch, out.restart_shortfall)
             }
         });
         e.sanitize_batch(&mut batch);
         e.commit_batch(batch);
     }
     e.finish()
+}
+
+/// Run MC-based q-EGO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("mc-q-ego")
+        .build()
+        .expect("invalid MC-q-EGO configuration");
+    drive(e)
 }
 
 #[cfg(test)]

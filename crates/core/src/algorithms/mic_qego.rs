@@ -9,7 +9,6 @@
 
 use super::acq_multistart;
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
 use pbo_acq::single::{optimize_single, ExpectedImprovement, UpperConfidenceBound};
@@ -17,31 +16,37 @@ use pbo_gp::GaussianProcess;
 use pbo_opt::Bounds;
 use pbo_problems::Problem;
 
-/// Build one multi-infill batch of `q` candidates.
+/// Build one multi-infill batch of `q` candidates. Returns the batch
+/// plus the summed multistart restart shortfall.
 pub fn mic_batch(
     gp: &GaussianProcess,
     bounds: &Bounds,
     q: usize,
     cfg: &AlgoConfig,
     seed: u64,
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, usize) {
     let mut model = gp.clone();
     let mut batch: Vec<Vec<f64>> = Vec::with_capacity(q);
+    let mut shortfall = 0usize;
     let mut step = 0u64;
     while batch.len() < q {
         let f_best = model.best_observed(false);
         let ei = ExpectedImprovement { f_best };
         let ms = acq_multistart(cfg, seed.wrapping_add(step));
-        let x1 = optimize_single(&model, &ei, bounds, &[], &ms).x;
+        let r1 = optimize_single(&model, &ei, bounds, &[], &ms);
+        shortfall += r1.restart_shortfall;
+        let x1 = r1.x;
         batch.push(x1.clone());
 
         let mut fantasies: Vec<(Vec<f64>, f64)> = vec![(x1.clone(), model.predict_mean(&x1))];
         if batch.len() < q {
             // Second criterion on the *same* model state (Alg. 2 lines
             // 6–7: both argmax calls precede the partial update).
-            let ucb = UpperConfidenceBound { beta: cfg.ucb_beta };
+            let ucb = UpperConfidenceBound { beta: cfg.acq.ucb_beta };
             let ms2 = acq_multistart(cfg, seed.wrapping_add(step).wrapping_add(0x0CB));
-            let x2 = optimize_single(&model, &ucb, bounds, &[], &ms2).x;
+            let r2 = optimize_single(&model, &ucb, bounds, &[], &ms2);
+            shortfall += r2.restart_shortfall;
+            let x2 = r2.x;
             fantasies.push((x2.clone(), model.predict_mean(&x2)));
             batch.push(x2);
         }
@@ -55,12 +60,11 @@ pub fn mic_batch(
         }
         step += 2;
     }
-    batch
+    (batch, shortfall)
 }
 
-/// Run mic-q-EGO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "mic-q-ego");
+/// Drive a prepared engine with mic-q-EGO to budget exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     while e.should_continue() {
         e.fit_model();
         let q = e.q();
@@ -68,13 +72,23 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         let cfg = e.cfg().clone();
         let acq_seed = e.seeds().fork(0xACC).next_seed();
         let gp = e.gp().clone();
-        let mut batch = e
-            .clock()
-            .charge(TimeCategory::Acquisition, || mic_batch(&gp, &bounds, q, &cfg, acq_seed));
+        let mut batch = e.charge_acquisition(1, || mic_batch(&gp, &bounds, q, &cfg, acq_seed));
         e.sanitize_batch(&mut batch);
         e.commit_batch(batch);
     }
     e.finish()
+}
+
+/// Run mic-q-EGO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("mic-q-ego")
+        .build()
+        .expect("invalid mic-q-EGO configuration");
+    drive(e)
 }
 
 #[cfg(test)]

@@ -11,15 +11,13 @@
 
 use super::mic_qego::mic_batch;
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
 use pbo_problems::Problem;
 
-/// Run mic-TuRBO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "mic-turbo");
+/// Drive a prepared engine with mic-TuRBO to budget exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     let mut tr = TrustRegion::new(TrustRegionConfig::default());
 
     while e.should_continue() {
@@ -32,9 +30,7 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         let center = e.best_x_unit();
         let region = tr.bounds(&center, &gp.kernel().lengthscales);
 
-        let mut batch = e.clock().charge(TimeCategory::Acquisition, || {
-            mic_batch(&gp, &region, q, &cfg, acq_seed)
-        });
+        let mut batch = e.charge_acquisition(1, || mic_batch(&gp, &region, q, &cfg, acq_seed));
         e.sanitize_batch(&mut batch);
         e.commit_batch(batch);
 
@@ -42,6 +38,18 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         tr.update(improved);
     }
     e.finish()
+}
+
+/// Run mic-TuRBO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("mic-turbo")
+        .build()
+        .expect("invalid mic-TuRBO configuration");
+    drive(e)
 }
 
 #[cfg(test)]

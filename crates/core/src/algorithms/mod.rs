@@ -24,7 +24,9 @@ pub mod thompson;
 pub mod turbo;
 
 use crate::budget::Budget;
-use crate::engine::AlgoConfig;
+use crate::engine::{AlgoConfig, Engine};
+use crate::error::ConfigError;
+use crate::observe::Observer;
 use crate::record::RunRecord;
 use pbo_opt::lbfgs::LbfgsConfig;
 use pbo_opt::multistart::MultistartConfig;
@@ -112,7 +114,9 @@ pub fn run_algorithm(
     run_algorithm_with(kind, problem, budget, AlgoConfig::default(), seed)
 }
 
-/// Run an algorithm with an explicit configuration.
+/// Run an algorithm with an explicit configuration. Panics on an
+/// invalid configuration; use [`run_algorithm_observed`] for typed
+/// errors and observability.
 pub fn run_algorithm_with(
     kind: AlgorithmKind,
     problem: &dyn Problem,
@@ -120,24 +124,46 @@ pub fn run_algorithm_with(
     cfg: AlgoConfig,
     seed: u64,
 ) -> RunRecord {
-    match kind {
-        AlgorithmKind::KbQEgo => kb_qego::run(problem, *budget, cfg, seed),
-        AlgorithmKind::MicQEgo => mic_qego::run(problem, *budget, cfg, seed),
-        AlgorithmKind::McQEgo => mc_qego::run(problem, *budget, cfg, seed),
-        AlgorithmKind::BspEgo => bsp_ego::run(problem, *budget, cfg, seed),
-        AlgorithmKind::Turbo => turbo::run(problem, *budget, cfg, seed),
-        AlgorithmKind::RandomSearch => random::run(problem, *budget, cfg, seed),
-        AlgorithmKind::ThompsonSampling => thompson::run(problem, *budget, cfg, seed),
-        AlgorithmKind::MicTurbo => mic_turbo::run(problem, *budget, cfg, seed),
-    }
+    run_algorithm_observed(kind, problem, budget, cfg, seed, crate::observe::NullObserver)
+        .expect("invalid algorithm configuration")
+}
+
+/// Run an algorithm with an explicit configuration and an observer
+/// receiving the engine's event stream. The observer never perturbs the
+/// run: results are bit-identical with and without it.
+pub fn run_algorithm_observed<'a>(
+    kind: AlgorithmKind,
+    problem: &'a dyn Problem,
+    budget: &Budget,
+    cfg: AlgoConfig,
+    seed: u64,
+    observer: impl Observer + 'a,
+) -> Result<RunRecord, ConfigError> {
+    let e = Engine::builder(problem)
+        .budget(*budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm(kind.name())
+        .observer(observer)
+        .build()?;
+    Ok(match kind {
+        AlgorithmKind::KbQEgo => kb_qego::drive(e),
+        AlgorithmKind::MicQEgo => mic_qego::drive(e),
+        AlgorithmKind::McQEgo => mc_qego::drive(e),
+        AlgorithmKind::BspEgo => bsp_ego::drive(e),
+        AlgorithmKind::Turbo => turbo::drive(e),
+        AlgorithmKind::RandomSearch => random::drive(e),
+        AlgorithmKind::ThompsonSampling => thompson::drive(e),
+        AlgorithmKind::MicTurbo => mic_turbo::drive(e),
+    })
 }
 
 /// Multistart settings for single-point acquisition maximization,
 /// derived from the algorithm config.
 pub fn acq_multistart(cfg: &AlgoConfig, seed: u64) -> MultistartConfig {
     MultistartConfig {
-        raw_samples: cfg.acq_raw_samples,
-        restarts: cfg.acq_restarts,
+        raw_samples: cfg.acq.raw_samples,
+        restarts: cfg.acq.restarts,
         lbfgs: LbfgsConfig { max_iters: 40, ..LbfgsConfig::default() },
         seed,
     }
@@ -146,8 +172,8 @@ pub fn acq_multistart(cfg: &AlgoConfig, seed: u64) -> MultistartConfig {
 /// Multistart settings for the joint q-EI optimization.
 pub fn qei_multistart(cfg: &AlgoConfig, seed: u64) -> MultistartConfig {
     MultistartConfig {
-        raw_samples: cfg.qei_raw_samples,
-        restarts: cfg.qei_restarts,
+        raw_samples: cfg.qei.raw_samples,
+        restarts: cfg.qei.restarts,
         lbfgs: LbfgsConfig { max_iters: 30, ..LbfgsConfig::default() },
         seed,
     }

@@ -8,10 +8,9 @@ use crate::record::RunRecord;
 use pbo_problems::Problem;
 use rand::Rng;
 
-/// Run random search to budget exhaustion (q uniform points per cycle;
-/// no surrogate, no acquisition cost).
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "random");
+/// Drive a prepared engine with random search to budget exhaustion
+/// (q uniform points per cycle; no surrogate, no acquisition cost).
+pub fn drive(mut e: Engine) -> RunRecord {
     while e.should_continue() {
         e.begin_cycle();
         let q = e.q();
@@ -24,6 +23,18 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         e.commit_batch(batch);
     }
     e.finish()
+}
+
+/// Run random search to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("random")
+        .build()
+        .expect("invalid random-search configuration");
+    drive(e)
 }
 
 #[cfg(test)]

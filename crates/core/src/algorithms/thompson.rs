@@ -9,7 +9,6 @@
 //! exploration of cheaper acquisition processes.
 
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
 use pbo_gp::GaussianProcess;
@@ -60,23 +59,34 @@ pub fn thompson_batch(
     chosen.into_iter().map(|i| cands.row(i).to_vec()).collect()
 }
 
-/// Run Thompson-sampling BO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "thompson");
+/// Drive a prepared engine with Thompson-sampling BO to budget
+/// exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     while e.should_continue() {
         e.fit_model();
         let q = e.q();
-        let n_cand = e.cfg().thompson_candidates;
+        let n_cand = e.cfg().acq.thompson_candidates;
         let cycle_tag = 0xACC + e.cycle_index() as u64;
         let acq_seed = e.seeds().fork(cycle_tag).next_seed();
         let gp = e.gp().clone();
-        let mut batch = e
-            .clock()
-            .charge(TimeCategory::Acquisition, || thompson_batch(&gp, q, n_cand, acq_seed));
+        // No inner optimization → no restart shortfall to report.
+        let mut batch = e.charge_acquisition(1, || (thompson_batch(&gp, q, n_cand, acq_seed), 0));
         e.sanitize_batch(&mut batch);
         e.commit_batch(batch);
     }
     e.finish()
+}
+
+/// Run Thompson-sampling BO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("thompson")
+        .build()
+        .expect("invalid Thompson-sampling configuration");
+    drive(e)
 }
 
 #[cfg(test)]

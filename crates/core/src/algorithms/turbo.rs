@@ -10,7 +10,6 @@
 
 use super::{acq_multistart, qei_multistart};
 use crate::budget::Budget;
-use crate::clock::TimeCategory;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
@@ -18,9 +17,8 @@ use pbo_acq::mc::{optimize_qei, QExpectedImprovement};
 use pbo_acq::single::{optimize_single, ExpectedImprovement};
 use pbo_problems::Problem;
 
-/// Run TuRBO to budget exhaustion.
-pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
-    let mut e = Engine::new(problem, budget, cfg, seed, "turbo");
+/// Drive a prepared engine with TuRBO to budget exhaustion.
+pub fn drive(mut e: Engine) -> RunRecord {
     let mut tr = TrustRegion::new(TrustRegionConfig::default());
 
     while e.should_continue() {
@@ -33,16 +31,18 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         let center = e.best_x_unit();
         let region = tr.bounds(&center, &gp.kernel().lengthscales);
 
-        let mut batch = e.clock().charge(TimeCategory::Acquisition, || {
+        let mut batch = e.charge_acquisition(1, || {
             if q == 1 {
                 let ei = ExpectedImprovement { f_best: f_best_min };
                 let ms = acq_multistart(&cfg, acq_seed);
-                vec![optimize_single(&gp, &ei, &region, &[], &ms).x]
+                let r = optimize_single(&gp, &ei, &region, &[], &ms);
+                (vec![r.x], r.restart_shortfall)
             } else {
                 let qei =
-                    QExpectedImprovement::new(f_best_min, q, cfg.qei_samples, acq_seed ^ 0x7B);
+                    QExpectedImprovement::new(f_best_min, q, cfg.qei.samples, acq_seed ^ 0x7B);
                 let ms = qei_multistart(&cfg, acq_seed);
-                optimize_qei(&gp, &qei, &region, &[], &ms).0
+                let out = optimize_qei(&gp, &qei, &region, &[], &ms);
+                (out.batch, out.restart_shortfall)
             }
         });
         e.sanitize_batch(&mut batch);
@@ -52,6 +52,18 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
         tr.update(improved);
     }
     e.finish()
+}
+
+/// Run TuRBO to budget exhaustion.
+pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) -> RunRecord {
+    let e = Engine::builder(problem)
+        .budget(budget)
+        .config(cfg)
+        .seed(seed)
+        .algorithm("turbo")
+        .build()
+        .expect("invalid TuRBO configuration");
+    drive(e)
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! dispatch adds a small software overhead, which the paper observes to
 //! be non-negligible for its licensed simulator.
 
+use crate::error::{non_negative, positive, ConfigError};
+
 /// Stopping rule of an optimization run.
 #[derive(Debug, Clone, Copy)]
 pub enum Stopping {
@@ -68,6 +70,24 @@ impl Budget {
         self
     }
 
+    /// Check the budget for degenerate settings; returns the first
+    /// violation as a typed error. Called by `Engine::builder`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.initial_samples < 2 {
+            return Err(ConfigError::InitialSamplesTooSmall { got: self.initial_samples });
+        }
+        positive("budget.sim_seconds", self.sim_seconds)?;
+        non_negative("budget.dispatch_overhead", self.dispatch_overhead)?;
+        non_negative("budget.dispatch_overhead_per_point", self.dispatch_overhead_per_point)?;
+        if let Stopping::VirtualTime(t) = self.stopping {
+            positive("budget.stopping.virtual_time", t)?;
+        }
+        Ok(())
+    }
+
     /// Virtual time consumed by one parallel batch evaluation.
     pub fn batch_sim_time(&self, batch_len: usize) -> f64 {
         self.sim_seconds
@@ -103,6 +123,26 @@ mod tests {
     #[test]
     fn max_cycles_is_120_in_paper_mode() {
         assert_eq!(Budget::paper(4).max_cycles(), Some(120));
+    }
+
+    #[test]
+    fn validate_accepts_paper_budgets_and_rejects_degenerate_ones() {
+        for q in [1usize, 4, 16] {
+            Budget::paper(q).validate().unwrap();
+            Budget::cycles(3, q).validate().unwrap();
+        }
+        let mut b = Budget::paper(2);
+        b.batch_size = 0;
+        assert_eq!(b.validate(), Err(ConfigError::ZeroBatchSize));
+        let mut b = Budget::paper(2);
+        b.initial_samples = 1;
+        assert_eq!(b.validate(), Err(ConfigError::InitialSamplesTooSmall { got: 1 }));
+        let mut b = Budget::paper(2);
+        b.sim_seconds = -1.0;
+        assert!(matches!(b.validate(), Err(ConfigError::NonPositive { .. })));
+        let mut b = Budget::paper(2);
+        b.stopping = Stopping::VirtualTime(0.0);
+        assert!(matches!(b.validate(), Err(ConfigError::NonPositive { .. })));
     }
 
     #[test]

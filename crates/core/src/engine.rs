@@ -1,114 +1,55 @@
 //! Shared BO-loop machinery: normalization, dataset, model management,
-//! time accounting and run recording.
+//! time accounting, observability and run recording.
 //!
 //! Every algorithm drives the same [`Engine`]:
 //!
-//! 1. `Engine::new` draws the Latin-hypercube initial design — from a
-//!    seed stream that depends only on the run seed, **not** on the
-//!    algorithm, so all five algorithms start from identical initial
-//!    sets (the paper's protocol) — and evaluates it outside the timed
-//!    budget (Table 2 excludes the DoE from the 20 minutes);
+//! 1. [`Engine::builder`] validates the configuration and draws the
+//!    Latin-hypercube initial design — from a seed stream that depends
+//!    only on the run seed, **not** on the algorithm, so all five
+//!    algorithms start from identical initial sets (the paper's
+//!    protocol) — and evaluates it outside the timed budget (Table 2
+//!    excludes the DoE from the 20 minutes);
 //! 2. each cycle calls [`Engine::fit_model`] (charged as fitting time),
 //!    builds a batch through its acquisition process (charged as
-//!    acquisition time, inside `clock().charge(..)`), and commits it
-//!    with [`Engine::commit_batch`] (charged the fixed virtual
-//!    simulation cost);
+//!    acquisition time, via [`Engine::charge_acquisition`]), and
+//!    commits it with [`Engine::commit_batch`] (charged the fixed
+//!    virtual simulation cost);
 //! 3. [`Engine::should_continue`] implements the stopping rule, and
 //!    [`Engine::finish`] emits the [`RunRecord`].
+//!
+//! An optional [`Observer`] installed through the builder receives a
+//! typed [`Event`] at each of these phase boundaries. Events are
+//! emitted strictly **outside** the clock's `charge(..)` closures —
+//! observer wall-time is never charged to the virtual clock — and are
+//! never even constructed when observation is disabled.
 //!
 //! Internally everything is minimized over the unit cube; the problem's
 //! native orientation and box are restored at the record boundary.
 
 use crate::budget::{Budget, Stopping};
-use crate::clock::{CostModel, TimeCategory, VirtualClock};
-use crate::exec::{evaluate_batch_ft, BatchReport, FtPolicy};
+use crate::clock::{TimeCategory, VirtualClock};
+use crate::error::ConfigError;
+use crate::exec::{evaluate_batch_ft_observed, BatchReport};
+use crate::observe::{Event, Observer};
 use crate::record::{CycleRecord, FaultCounters, RunRecord};
-use pbo_gp::{fit, FitConfig, FitWorkspace, GaussianProcess};
+use pbo_gp::{fit, FitWorkspace, GaussianProcess};
 use pbo_linalg::Matrix;
 use pbo_opt::Bounds;
 use pbo_problems::Problem;
 use pbo_sampling::{lhs, SeedStream};
 use rand::Rng;
+use std::time::Instant;
 
-/// How the Kriging-Believer loop fills in not-yet-simulated values
-/// (Ginsbourger et al. discuss all three; the paper uses the believer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FantasyKind {
-    /// Believe the posterior mean (the paper's KB heuristic).
-    PosteriorMean,
-    /// Constant liar with the incumbent best (optimistic; clusters).
-    ConstantLiarMin,
-    /// Constant liar with the worst observation (pessimistic; spreads).
-    ConstantLiarMax,
-}
+pub use crate::config::{AcqConfig, AlgoConfig, FantasyKind, QeiConfig};
 
-/// Algorithm-level configuration shared by all five methods.
-#[derive(Debug, Clone)]
-pub struct AlgoConfig {
-    /// GP hyperparameter fitting settings.
-    pub fit: FitConfig,
-    /// Run a full multistart fit every k cycles; warm-start refits in
-    /// between (the paper reduces intermediate fitting budgets).
-    pub full_fit_every: usize,
-    /// Multistart restarts for single-point acquisition optimization.
-    pub acq_restarts: usize,
-    /// Raw Sobol samples scored before acquisition restarts.
-    pub acq_raw_samples: usize,
-    /// qMC base samples for Monte-Carlo q-EI.
-    pub qei_samples: usize,
-    /// Restarts for the joint q-EI optimization.
-    pub qei_restarts: usize,
-    /// Raw samples for the joint q-EI optimization.
-    pub qei_raw_samples: usize,
-    /// UCB exploration weight (mic-q-EGO's second criterion).
-    pub ucb_beta: f64,
-    /// BSP-EGO: number of sub-regions as a multiple of q (paper: 2).
-    pub bsp_cells_factor: usize,
-    /// Fantasy value used by the KB/mic sequential loops.
-    pub kb_fantasy: FantasyKind,
-    /// Thompson sampling (extension algorithm): discrete candidate-set
-    /// size per cycle.
-    pub thompson_candidates: usize,
-    /// Virtual-clock cost model.
-    pub cost_model: CostModel,
-    /// Fault-tolerant evaluation policy (retries, backoff, timeout,
-    /// worker-count override).
-    pub ft: FtPolicy,
-}
-
-impl Default for AlgoConfig {
-    fn default() -> Self {
-        AlgoConfig {
-            fit: FitConfig { restarts: 2, max_iters: 40, warm_iters: 12, ..FitConfig::default() },
-            full_fit_every: 10,
-            acq_restarts: 6,
-            acq_raw_samples: 64,
-            qei_samples: 128,
-            qei_restarts: 4,
-            qei_raw_samples: 32,
-            ucb_beta: std::f64::consts::SQRT_2,
-            bsp_cells_factor: 2,
-            kb_fantasy: FantasyKind::PosteriorMean,
-            thompson_candidates: 512,
-            cost_model: CostModel::default(),
-            ft: FtPolicy::default(),
-        }
-    }
-}
-
-impl AlgoConfig {
-    /// Deterministic test profile: fixed per-call virtual costs and
-    /// small fitting budgets.
-    pub fn test_profile() -> Self {
-        AlgoConfig {
-            fit: FitConfig { restarts: 0, max_iters: 12, warm_iters: 6, ..FitConfig::default() },
-            acq_restarts: 2,
-            acq_raw_samples: 16,
-            qei_samples: 48,
-            qei_restarts: 2,
-            qei_raw_samples: 8,
-            cost_model: CostModel::Fixed { per_call: 1.0 },
-            ..AlgoConfig::default()
+/// Construct an event and hand it to the observer — but only when one
+/// is installed and enabled, so disabled runs never pay for event
+/// construction. A free function over the field (not a method) so emit
+/// sites can keep disjoint borrows of the engine's other fields.
+fn emit<'a>(observer: &mut Option<Box<dyn Observer + 'a>>, build: impl FnOnce() -> Event) {
+    if let Some(obs) = observer.as_deref_mut() {
+        if obs.enabled() {
+            obs.on_event(&build());
         }
     }
 }
@@ -138,17 +79,93 @@ pub struct Engine<'a> {
     seed: u64,
     /// Faults absorbed while evaluating the initial design.
     doe_faults: FaultCounters,
+    /// Optional event sink (`None` and a disabled sink behave
+    /// identically: no events are built).
+    observer: Option<Box<dyn Observer + 'a>>,
 }
 
-impl<'a> Engine<'a> {
-    /// Create the engine and evaluate the initial design (untimed).
-    pub fn new(
-        problem: &'a dyn Problem,
-        budget: Budget,
-        cfg: AlgoConfig,
-        seed: u64,
-        algorithm: &str,
-    ) -> Self {
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("algorithm", &self.algorithm)
+            .field("problem", &self.problem.name())
+            .field("seed", &self.seed)
+            .field("n_data", &self.y.len())
+            .field("cycle_idx", &self.cycle_idx)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Typed, validating constructor for [`Engine`] — see
+/// [`Engine::builder`].
+pub struct EngineBuilder<'a> {
+    problem: &'a dyn Problem,
+    budget: Option<Budget>,
+    cfg: AlgoConfig,
+    seed: u64,
+    algorithm: String,
+    q: Option<usize>,
+    observer: Option<Box<dyn Observer + 'a>>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Set the full budget (otherwise `Budget::paper(q)` is used).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Set the batch size, overriding the budget's `batch_size`.
+    pub fn q(mut self, q: usize) -> Self {
+        self.q = Some(q);
+        self
+    }
+
+    /// Set the algorithm configuration.
+    pub fn config(mut self, cfg: AlgoConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the run seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the algorithm display name used for seed forking and the
+    /// run record (default `"engine"`).
+    pub fn algorithm(mut self, name: &str) -> Self {
+        self.algorithm = name.to_string();
+        self
+    }
+
+    /// Install an event sink. At most one; tee with
+    /// [`crate::observe::FanoutObserver`] if several are needed.
+    pub fn observer(mut self, observer: impl Observer + 'a) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Validate the configuration, evaluate the initial design
+    /// (untimed) and return the ready engine.
+    ///
+    /// Fails with a typed [`ConfigError`] instead of panicking: zero
+    /// batch size, a sub-2 initial design, non-finite budgets/knobs, a
+    /// shrinking retry backoff or a fully failed initial design all
+    /// surface here.
+    pub fn build(self) -> Result<Engine<'a>, ConfigError> {
+        let EngineBuilder { problem, budget, cfg, seed, algorithm, q, observer: mut obs } = self;
+        if q == Some(0) {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        let mut budget = budget.unwrap_or_else(|| Budget::paper(q.unwrap_or(1)));
+        if let Some(q) = q {
+            budget.batch_size = q;
+        }
+        budget.validate()?;
+        cfg.validate()?;
+
         let d = problem.dim();
         let root = SeedStream::new(seed);
         // The DoE stream must not depend on the algorithm: the paper
@@ -164,12 +181,25 @@ impl<'a> Engine<'a> {
                 x
             })
             .collect();
+        emit(&mut obs, || Event::RunStarted {
+            algorithm: algorithm.clone(),
+            problem: problem.name().to_string(),
+            seed,
+            q: budget.batch_size,
+            dim: d,
+        });
         // The DoE goes through the fault-tolerant pool too (a crashed
         // rank during initial sampling must not kill the run). Failed
         // design points are *dropped*, not imputed: with no dataset yet
         // there is no liar value to borrow, and a slightly smaller DoE
         // is exactly what the paper's cluster would deliver.
-        let report = evaluate_batch_ft(problem, &native, budget.sim_seconds, &cfg.ft);
+        let report = evaluate_batch_ft_observed(
+            problem,
+            &native,
+            budget.sim_seconds,
+            &cfg.ft,
+            obs.as_deref_mut(),
+        );
         let mut doe_faults = report.counters();
         let mut x = Matrix::zeros(0, d);
         let mut y = Vec::with_capacity(n0);
@@ -182,18 +212,23 @@ impl<'a> Engine<'a> {
                 None => doe_faults.dropped += 1,
             }
         }
-        assert!(
-            !y.is_empty(),
-            "every initial-design point failed after retries; cannot start a run"
-        );
+        if y.is_empty() {
+            return Err(ConfigError::EmptyDesign);
+        }
+        let evaluated = y.len();
+        emit(&mut obs, || Event::DesignEvaluated {
+            requested: n0,
+            evaluated,
+            faults: doe_faults,
+        });
         let clock = VirtualClock::new(cfg.cost_model);
-        Engine {
+        Ok(Engine {
             problem,
             budget,
             cfg,
             clock,
-            seeds: root.fork_named(algorithm),
-            algorithm: algorithm.to_string(),
+            seeds: root.fork_named(&algorithm),
+            algorithm,
             x,
             y,
             gp: None,
@@ -203,7 +238,42 @@ impl<'a> Engine<'a> {
             cycle_idx: 0,
             seed,
             doe_faults,
+            observer: obs,
+        })
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Start building an engine for `problem`.
+    pub fn builder(problem: &'a dyn Problem) -> EngineBuilder<'a> {
+        EngineBuilder {
+            problem,
+            budget: None,
+            cfg: AlgoConfig::default(),
+            seed: 0,
+            algorithm: "engine".to_string(),
+            q: None,
+            observer: None,
         }
+    }
+
+    /// Create the engine and evaluate the initial design (untimed).
+    #[deprecated(note = "use `Engine::builder(problem)…build()`, which validates the \
+                         configuration and supports observers")]
+    pub fn new(
+        problem: &'a dyn Problem,
+        budget: Budget,
+        cfg: AlgoConfig,
+        seed: u64,
+        algorithm: &str,
+    ) -> Self {
+        Engine::builder(problem)
+            .budget(budget)
+            .config(cfg)
+            .seed(seed)
+            .algorithm(algorithm)
+            .build()
+            .expect("invalid engine configuration")
     }
 
     /// The algorithm configuration.
@@ -286,6 +356,9 @@ impl<'a> Engine<'a> {
     /// search) call it directly.
     pub fn begin_cycle(&mut self) {
         self.cycle_start_split = self.clock.split();
+        let cycle = self.cycle_idx;
+        let clock = self.clock.now();
+        emit(&mut self.observer, || Event::CycleStarted { cycle, clock });
     }
 
     /// Fit or refit the surrogate, charged as fitting time. Full
@@ -294,6 +367,7 @@ impl<'a> Engine<'a> {
     /// hyperparameters with the reduced budget.
     pub fn fit_model(&mut self) {
         self.begin_cycle();
+        let (f0, _, _) = self.cycle_start_split;
         let full = self.gp.is_none() || self.cycle_idx.is_multiple_of(self.cfg.full_fit_every);
         let cfg = self.cfg.fit.clone();
         let x = self.x.clone();
@@ -301,7 +375,8 @@ impl<'a> Engine<'a> {
         let prev = self.gp.take();
         let mut seeds = self.seeds.fork(0xF17 + self.cycle_idx as u64);
         let mut ws = std::mem::take(&mut self.fit_ws);
-        let gp = self.clock.charge(TimeCategory::Fit, || {
+        let wall = Instant::now();
+        let fitted = self.clock.charge(TimeCategory::Fit, || {
             if full {
                 let warm = prev.as_ref().map(|g| (g.kernel().clone(), g.noise()));
                 fit::fit_with(
@@ -312,31 +387,90 @@ impl<'a> Engine<'a> {
                     &mut seeds,
                     &mut ws,
                 )
-                .map(|(g, _)| g)
             } else {
                 let prev = prev.as_ref().expect("warm refit requires a model");
                 // Rebuild on the full data with the previous hypers, then
                 // take a few warm L-BFGS steps.
                 GaussianProcess::new(x.clone(), &y, prev.kernel().clone(), prev.noise())
-                    .and_then(|g| {
-                        fit::refit_warm_with(&g, &cfg, &mut seeds, &mut ws)
-                            .map(|(g, _)| g)
-                    })
+                    .and_then(|g| fit::refit_warm_with(&g, &cfg, &mut seeds, &mut ws))
             }
         });
+        let wall_ns = wall.elapsed().as_nanos() as u64;
         self.fit_ws = ws;
-        match gp {
-            Ok(g) => self.gp = Some(g),
+        let n = self.y.len();
+        let cycle = self.cycle_idx;
+        match fitted {
+            Ok((g, rep)) => {
+                self.gp = Some(g);
+                let virtual_s = self.clock.split().0 - f0;
+                emit(&mut self.observer, || Event::FitCompleted {
+                    cycle,
+                    n,
+                    full,
+                    restarts: rep.starts,
+                    evals: rep.evals,
+                    mll: rep.mll,
+                    fallback: false,
+                    wall_ns,
+                    virtual_s,
+                });
+            }
             Err(_) => {
                 // Last-resort fallback: default kernel, larger noise.
-                let kernel =
-                    pbo_gp::kernel::Kernel::new(cfg.family, self.x.cols());
+                let kernel = pbo_gp::kernel::Kernel::new(cfg.family, self.x.cols());
                 self.gp = Some(
                     GaussianProcess::new(self.x.clone(), &self.y, kernel, 1e-2)
                         .expect("fallback GP must build"),
                 );
+                let virtual_s = self.clock.split().0 - f0;
+                emit(&mut self.observer, || Event::FitCompleted {
+                    cycle,
+                    n,
+                    full,
+                    restarts: 0,
+                    evals: 0,
+                    mll: f64::NAN,
+                    fallback: true,
+                    wall_ns,
+                    virtual_s,
+                });
             }
         }
+    }
+
+    /// Run an acquisition process, charge it to the acquisition clock
+    /// (`workers > 1` divides the measured time, modelling genuinely
+    /// parallel sub-acquisitions as in BSP-EGO) and emit the
+    /// [`Event::AcquisitionCompleted`] telemetry. `work` returns the
+    /// built batch (or any payload) plus its multistart restart
+    /// shortfall; the event is emitted *after* charging, outside the
+    /// timed region.
+    pub fn charge_acquisition<T>(
+        &mut self,
+        workers: usize,
+        work: impl FnOnce() -> (T, usize),
+    ) -> T {
+        let a0 = self.clock.split().1;
+        let wall = Instant::now();
+        let (out, restart_shortfall) = if workers > 1 {
+            self.clock.charge_parallel(TimeCategory::Acquisition, workers, work)
+        } else {
+            self.clock.charge(TimeCategory::Acquisition, work)
+        };
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        let virtual_s = self.clock.split().1 - a0;
+        let cycle = self.cycle_idx;
+        let q = self.budget.batch_size;
+        let algorithm = &self.algorithm;
+        emit(&mut self.observer, || Event::AcquisitionCompleted {
+            cycle,
+            algo: algorithm.clone(),
+            q,
+            restart_shortfall,
+            wall_ns,
+            virtual_s,
+        });
+        out
     }
 
     /// Replace batch entries that duplicate existing data or each other
@@ -381,6 +515,7 @@ impl<'a> Engine<'a> {
     /// never reach the GP.
     pub fn commit_batch(&mut self, batch: Vec<Vec<f64>>) {
         assert!(!batch.is_empty(), "cannot commit an empty batch");
+        let before_best = self.best_min();
         let native: Vec<Vec<f64>> = batch
             .iter()
             .map(|u| {
@@ -389,8 +524,13 @@ impl<'a> Engine<'a> {
                 x
             })
             .collect();
-        let report: BatchReport =
-            evaluate_batch_ft(self.problem, &native, self.budget.sim_seconds, &self.cfg.ft);
+        let report: BatchReport = evaluate_batch_ft_observed(
+            self.problem,
+            &native,
+            self.budget.sim_seconds,
+            &self.cfg.ft,
+            self.observer.as_deref_mut(),
+        );
         let mut faults = report.counters();
         // One virtual rank per batch element: the pool's wall time is
         // the slowest rank's, plus the dispatch overhead. Fault-free,
@@ -428,7 +568,7 @@ impl<'a> Engine<'a> {
         }
         let (f0, a0, s0) = self.cycle_start_split;
         let (f1, a1, s1) = self.clock.split();
-        self.cycles.push(CycleRecord {
+        let record = CycleRecord {
             cycle: self.cycle_idx,
             fit_time: f1 - f0,
             acq_time: a1 - a0,
@@ -437,12 +577,37 @@ impl<'a> Engine<'a> {
             best_y_min: self.best_min(),
             clock: self.clock.now(),
             faults,
+        };
+        let n_points = batch.len();
+        emit(&mut self.observer, || Event::BatchEvaluated {
+            cycle: record.cycle,
+            n_points,
+            n_evals: record.n_evals,
+            faults: record.faults,
+            virtual_s: record.sim_time,
         });
+        if record.best_y_min < before_best {
+            emit(&mut self.observer, || Event::IncumbentImproved {
+                cycle: record.cycle,
+                best_y_min: record.best_y_min,
+            });
+        }
+        self.cycles.push(record);
         self.cycle_idx += 1;
     }
 
     /// Close the run and emit its record.
-    pub fn finish(self) -> RunRecord {
+    pub fn finish(mut self) -> RunRecord {
+        let n_cycles = self.cycles.len();
+        let n_simulations = self.y.len();
+        let best_y_min = self.best_min();
+        let final_clock = self.clock.now();
+        emit(&mut self.observer, || Event::RunFinished {
+            n_cycles,
+            n_simulations,
+            best_y_min,
+            final_clock,
+        });
         let best_x = {
             let mut u = self.best_x_unit();
             pbo_sampling::scale_to_box(&mut u, self.problem.lower(), self.problem.upper());
@@ -460,7 +625,7 @@ impl<'a> Engine<'a> {
             doe_size: self.budget.initial_samples.max(2) - self.doe_faults.dropped as usize,
             y_min: self.y,
             cycles: self.cycles,
-            final_clock: self.clock.now(),
+            final_clock,
             doe_faults: self.doe_faults,
         }
     }
@@ -474,23 +639,103 @@ fn close(a: &[f64], b: &[f64]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::CollectingObserver;
     use pbo_problems::SyntheticFn;
+    use std::sync::{Arc, Mutex};
 
     fn engine_for_test<'a>(p: &'a SyntheticFn, q: usize) -> Engine<'a> {
         let budget = Budget::cycles(3, q).with_initial_samples(8);
-        Engine::new(p, budget, AlgoConfig::test_profile(), 42, "test")
+        Engine::builder(p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(42)
+            .algorithm("test")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deprecated_new_matches_builder() {
+        let p = SyntheticFn::ackley(3);
+        let budget = Budget::cycles(1, 2).with_initial_samples(8);
+        #[allow(deprecated)]
+        let old = Engine::new(&p, budget, AlgoConfig::test_profile(), 42, "test");
+        let new = Engine::builder(&p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(42)
+            .algorithm("test")
+            .build()
+            .unwrap();
+        assert_eq!(old.data().0.as_slice(), new.data().0.as_slice());
+        assert_eq!(old.data().1, new.data().1);
+    }
+
+    #[test]
+    fn builder_defaults_to_paper_budget_for_q() {
+        let p = SyntheticFn::ackley(3);
+        let e = Engine::builder(&p).q(2).config(AlgoConfig::test_profile()).build().unwrap();
+        assert_eq!(e.q(), 2);
+        assert_eq!(e.budget().initial_samples, 32);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configurations_with_typed_errors() {
+        let p = SyntheticFn::ackley(3);
+        // 1. Zero batch size.
+        assert_eq!(
+            Engine::builder(&p).q(0).build().unwrap_err(),
+            ConfigError::ZeroBatchSize
+        );
+        // 2. Initial design too small to seed a surrogate.
+        let mut b = Budget::cycles(1, 2);
+        b.initial_samples = 1;
+        assert_eq!(
+            Engine::builder(&p).budget(b).build().unwrap_err(),
+            ConfigError::InitialSamplesTooSmall { got: 1 }
+        );
+        // 3. Non-positive simulation cost.
+        let mut b = Budget::cycles(1, 2).with_initial_samples(8);
+        b.sim_seconds = 0.0;
+        assert!(matches!(
+            Engine::builder(&p).budget(b).build().unwrap_err(),
+            ConfigError::NonPositive { field: "budget.sim_seconds", .. }
+        ));
+        // 4. Shrinking retry backoff.
+        let mut cfg = AlgoConfig::test_profile();
+        cfg.ft.backoff_factor = 0.0;
+        assert_eq!(
+            Engine::builder(&p).q(2).config(cfg).build().unwrap_err(),
+            ConfigError::BackoffFactorTooSmall { got: 0.0 }
+        );
+        // 5. Degenerate acquisition budget.
+        let mut cfg = AlgoConfig::test_profile();
+        cfg.acq.raw_samples = 0;
+        assert_eq!(
+            Engine::builder(&p).q(2).config(cfg).build().unwrap_err(),
+            ConfigError::ZeroField { field: "cfg.acq.raw_samples" }
+        );
     }
 
     #[test]
     fn doe_is_algorithm_independent() {
         let p = SyntheticFn::ackley(4);
         let budget = Budget::cycles(1, 2).with_initial_samples(8);
-        let a = Engine::new(&p, budget, AlgoConfig::test_profile(), 7, "alg-a");
-        let b = Engine::new(&p, budget, AlgoConfig::test_profile(), 7, "alg-b");
+        let build = |seed: u64, name: &str| {
+            Engine::builder(&p)
+                .budget(budget)
+                .config(AlgoConfig::test_profile())
+                .seed(seed)
+                .algorithm(name)
+                .build()
+                .unwrap()
+        };
+        let a = build(7, "alg-a");
+        let b = build(7, "alg-b");
         assert_eq!(a.data().0.as_slice(), b.data().0.as_slice());
         assert_eq!(a.data().1, b.data().1);
         // Different seeds → different DoEs.
-        let c = Engine::new(&p, budget, AlgoConfig::test_profile(), 8, "alg-a");
+        let c = build(8, "alg-a");
         assert_ne!(a.data().0.as_slice(), c.data().0.as_slice());
     }
 
@@ -509,6 +754,108 @@ mod tests {
         // Fixed cost model: fit = 1s, sim = 10 + 0.5 + 0.1.
         assert!((r.cycles[0].fit_time - 1.0).abs() < 1e-9);
         assert!((r.cycles[0].sim_time - 10.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_phase_events_with_exact_virtual_times() {
+        let p = SyntheticFn::ackley(3);
+        let sink = Arc::new(Mutex::new(CollectingObserver::new()));
+        let budget = Budget::cycles(3, 2).with_initial_samples(8);
+        let mut e = Engine::builder(&p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(42)
+            .algorithm("test")
+            .observer(sink.clone())
+            .build()
+            .unwrap();
+        e.fit_model();
+        let batch = e.charge_acquisition(1, || (vec![vec![0.3, 0.3, 0.3], vec![0.7, 0.2, 0.9]], 5));
+        e.commit_batch(batch);
+        let r = e.finish();
+        let events = std::mem::take(&mut sink.lock().unwrap().events);
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "run_started",
+                "design_evaluated",
+                "cycle_started",
+                "fit_completed",
+                "acquisition_completed",
+                "batch_evaluated",
+                "incumbent_improved",
+                "run_finished"
+            ]
+        );
+        for ev in &events {
+            match ev {
+                Event::FitCompleted { virtual_s, n, full, fallback, .. } => {
+                    assert_eq!(virtual_s.to_bits(), r.cycles[0].fit_time.to_bits());
+                    assert_eq!(*n, 8);
+                    assert!(*full);
+                    assert!(!*fallback);
+                }
+                Event::AcquisitionCompleted { virtual_s, restart_shortfall, q, .. } => {
+                    assert_eq!(virtual_s.to_bits(), r.cycles[0].acq_time.to_bits());
+                    assert_eq!(*restart_shortfall, 5);
+                    assert_eq!(*q, 2);
+                }
+                Event::BatchEvaluated { virtual_s, n_evals, .. } => {
+                    assert_eq!(virtual_s.to_bits(), r.cycles[0].sim_time.to_bits());
+                    assert_eq!(*n_evals, 2);
+                }
+                Event::RunFinished { n_simulations, final_clock, .. } => {
+                    assert_eq!(*n_simulations, r.n_simulations());
+                    assert_eq!(final_clock.to_bits(), r.final_clock.to_bits());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn observed_and_unobserved_runs_are_bit_identical() {
+        let p = SyntheticFn::ackley(3);
+        let budget = Budget::cycles(2, 2).with_initial_samples(8);
+        let run = |observe: bool| {
+            let mut b = Engine::builder(&p)
+                .budget(budget)
+                .config(AlgoConfig::test_profile())
+                .seed(9)
+                .algorithm("test");
+            if observe {
+                b = b.observer(Arc::new(Mutex::new(CollectingObserver::new())));
+            }
+            let mut e = b.build().unwrap();
+            while e.should_continue() {
+                e.fit_model();
+                let c = e.cycle_index() as f64;
+                let mut batch = e.charge_acquisition(1, || {
+                    (vec![vec![0.3, 0.3, 0.2 + 0.1 * c], vec![0.7, 0.2, 0.1 + 0.1 * c]], 0)
+                });
+                e.sanitize_batch(&mut batch);
+                e.commit_batch(batch);
+            }
+            e.finish()
+        };
+        let plain = run(false);
+        let observed = run(true);
+        assert_eq!(plain.y_min, observed.y_min);
+        let bits = |r: &RunRecord| {
+            r.cycles
+                .iter()
+                .map(|c| {
+                    (
+                        c.fit_time.to_bits(),
+                        c.acq_time.to_bits(),
+                        c.sim_time.to_bits(),
+                        c.clock.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&plain), bits(&observed));
     }
 
     #[test]
@@ -532,7 +879,13 @@ mod tests {
             ..Budget::cycles(0, 1)
         }
         .with_initial_samples(6);
-        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 1, "t");
+        let mut e = Engine::builder(&p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(1)
+            .algorithm("t")
+            .build()
+            .unwrap();
         let mut cycles = 0;
         while e.should_continue() {
             e.fit_model();
@@ -564,7 +917,13 @@ mod tests {
         let plan = FaultPlan::uniform(21, 0.3);
         let p = FaultyProblem::new(&inner, plan);
         let budget = Budget::cycles(3, 2).with_initial_samples(8);
-        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 42, "test");
+        let mut e = Engine::builder(&p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(42)
+            .algorithm("test")
+            .build()
+            .unwrap();
         while e.should_continue() {
             e.fit_model();
             let c = e.cycle_index() as f64;
@@ -594,7 +953,13 @@ mod tests {
             FaultPlan { p_straggle: 1.0, max_straggle_secs: 20.0, ..FaultPlan::none(5) };
         let p = FaultyProblem::new(&inner, plan);
         let budget = Budget::cycles(1, 2).with_initial_samples(6);
-        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 9, "test");
+        let mut e = Engine::builder(&p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(9)
+            .algorithm("test")
+            .build()
+            .unwrap();
         e.fit_model();
         e.commit_batch(vec![vec![0.3, 0.3, 0.3], vec![0.7, 0.2, 0.9]]);
         let r = e.finish();
@@ -652,7 +1017,15 @@ mod tests {
             poison: vec![0.5, 0.5, 0.5],
         };
         let budget = Budget::cycles(1, 2).with_initial_samples(6);
-        let mut e = Engine::new(&p, budget, AlgoConfig::test_profile(), 11, "test");
+        let sink = Arc::new(Mutex::new(CollectingObserver::new()));
+        let mut e = Engine::builder(&p)
+            .budget(budget)
+            .config(AlgoConfig::test_profile())
+            .seed(11)
+            .algorithm("test")
+            .observer(sink.clone())
+            .build()
+            .unwrap();
         let liar = e.data().1.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         e.fit_model();
         e.commit_batch(vec![vec![0.5, 0.5, 0.5], vec![0.9, 0.9, 0.9]]);
@@ -672,6 +1045,20 @@ mod tests {
         // so the charged cycle time is 33 + 0.6 dispatch.
         assert!((c.sim_time - 33.6).abs() < 1e-9);
         assert!((c.faults.virtual_secs_lost - 23.0).abs() < 1e-9);
+        // The poisoned point surfaced as a deterministic fault event in
+        // batch input order.
+        let events = &sink.lock().unwrap().events;
+        let faulted: Vec<&Event> =
+            events.iter().filter(|e| e.name() == "point_faulted").collect();
+        assert_eq!(faulted.len(), 1);
+        match faulted[0] {
+            Event::PointFaulted { index, attempts, recovered, .. } => {
+                assert_eq!(*index, 0);
+                assert_eq!(*attempts, 3);
+                assert!(!recovered);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   With a healthy problem its values are bit-identical to
 //!   [`evaluate_batch`].
 
+use crate::observe::{Event, Observer};
 use crate::record::FaultCounters;
 use pbo_problems::{eval_min, Problem};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -238,11 +239,73 @@ pub fn evaluate_batch_ft(
     BatchReport { outcomes }
 }
 
+/// [`evaluate_batch_ft`] plus observer notification: after the batch
+/// completes, a [`Event::PointFaulted`] is emitted for every point that
+/// absorbed any fault or needed more than one attempt — in **input
+/// order**, on the caller's thread. Worker threads never touch the
+/// observer, so sinks need not be `Sync` and the event stream is
+/// deterministic regardless of the fan-out schedule.
+pub fn evaluate_batch_ft_observed(
+    problem: &dyn Problem,
+    points: &[Vec<f64>],
+    sim_seconds: f64,
+    policy: &FtPolicy,
+    observer: Option<&mut (dyn Observer + '_)>,
+) -> BatchReport {
+    let report = evaluate_batch_ft(problem, points, sim_seconds, policy);
+    if let Some(obs) = observer {
+        if obs.enabled() {
+            for (index, o) in report.outcomes.iter().enumerate() {
+                if o.attempts > 1 || o.faults.any() {
+                    obs.on_event(&Event::PointFaulted {
+                        index,
+                        attempts: o.attempts,
+                        recovered: o.value.is_some(),
+                        faults: o.faults,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pbo_problems::fault::{silence_injected_panics, FaultPlan, FaultyProblem};
     use pbo_problems::SyntheticFn;
+
+    #[test]
+    fn observed_wrapper_emits_faulted_points_in_input_order() {
+        silence_injected_panics();
+        let inner = SyntheticFn::ackley(3);
+        let plan = FaultPlan { p_panic: 1.0, ..FaultPlan::none(7) };
+        let p = FaultyProblem::new(&inner, plan);
+        let pts = grid(4, 3);
+        let mut sink = crate::observe::CollectingObserver::new();
+        let report =
+            evaluate_batch_ft_observed(&p, &pts, 10.0, &FtPolicy::default(), Some(&mut sink));
+        assert_eq!(sink.events.len(), 4, "every point panics, every point reports");
+        for (i, ev) in sink.events.iter().enumerate() {
+            match ev {
+                Event::PointFaulted { index, attempts, recovered, faults } => {
+                    assert_eq!(*index, i);
+                    assert_eq!(*attempts, 3);
+                    assert!(!recovered);
+                    assert_eq!(faults.panics, 3);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // The wrapper returns the same report as the plain executor.
+        let plain = evaluate_batch_ft(&p, &pts, 10.0, &FtPolicy::default());
+        assert_eq!(report.outcomes, plain.outcomes);
+        // Healthy evaluations stay silent.
+        let mut sink = crate::observe::CollectingObserver::new();
+        evaluate_batch_ft_observed(&inner, &pts, 10.0, &FtPolicy::default(), Some(&mut sink));
+        assert!(sink.events.is_empty());
+    }
 
     #[test]
     fn matches_sequential_evaluation() {

@@ -18,7 +18,13 @@
 //!   simulation budget in virtual minutes);
 //! - [`exec`]: the crossbeam worker pool evaluating batches in parallel;
 //! - [`engine`]: shared BO-loop machinery — unit-cube normalization,
-//!   dataset, GP fit/refit charging, stopping, recording;
+//!   dataset, GP fit/refit charging, stopping, recording — built through
+//!   the validating `Engine::builder`;
+//! - [`config`]: the [`config::AlgoConfig`] family (acquisition, q-EI,
+//!   cost-model and fault-tolerance settings) and its validation;
+//! - [`error`]: typed [`error::ConfigError`]s surfaced by the builder;
+//! - [`observe`]: zero-cost-when-disabled structured observability —
+//!   typed engine events, JSONL tracing, lock-free metrics;
 //! - [`algorithms`]: KB-q-EGO, mic-q-EGO, MC-based q-EGO, BSP-EGO and
 //!   TuRBO (plus uniform random search as the weak baseline);
 //! - [`partition`]: the binary-space-partition tree behind BSP-EGO;
@@ -30,8 +36,11 @@
 pub mod algorithms;
 pub mod budget;
 pub mod clock;
+pub mod config;
 pub mod engine;
+pub mod error;
 pub mod exec;
+pub mod observe;
 pub mod partition;
 pub mod record;
 pub mod stats;

@@ -35,6 +35,17 @@ if [[ "${1:-}" != "--quick" ]]; then
   echo "== bench smoke (PBO_BENCH_SMOKE=1) =="
   PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench acquisition_scaling
   PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench fit_scaling
+
+  # Trace smoke: run a seeded traced optimization, validate that every
+  # JSONL line parses and that the event stream reconciles with the run
+  # record (the example exits non-zero on any mismatch).
+  echo "== observability trace smoke =="
+  cargo run --release -q --example observability >/dev/null
+
+  # The public API surface is documented; rustdoc warnings (broken
+  # intra-doc links, missing docs) are errors.
+  echo "== cargo doc --no-deps (warnings are errors) =="
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 fi
 
 echo "CI gate passed."

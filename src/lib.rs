@@ -15,21 +15,38 @@
 //! - an Underground Pumped Hydro-Energy Storage plant simulator
 //!   ([`uphes`]),
 //! - the benchmark functions and experiment harness used in the paper's
-//!   evaluation ([`problems`], the `pbo-bench` crate).
+//!   evaluation ([`problems`], the `pbo-bench` crate),
+//! - zero-cost-when-disabled structured observability
+//!   ([`core::observe`]): typed engine events, replayable JSONL traces,
+//!   lock-free metrics.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use pbo::core::algorithms::{run_algorithm, AlgorithmKind};
-//! use pbo::core::budget::Budget;
-//! use pbo::problems::SyntheticFn;
+//! use pbo::prelude::*;
 //!
 //! let problem = SyntheticFn::ackley(4);
-//! let budget = Budget::cycles(2, 2).with_initial_samples(8);
-//! let record = run_algorithm(AlgorithmKind::KbQEgo, &problem, &budget, 42);
+//! let cfg = RunConfig::cycles(2, 2).seed(42);
+//! let record = pbo::run(AlgorithmKind::KbQEgo, &problem, cfg).unwrap();
 //! assert!(record.best_y().is_finite());
 //! assert_eq!(record.n_cycles(), 2);
 //! ```
+//!
+//! To watch a run live, attach any [`prelude::Observer`] — e.g. a
+//! replayable JSONL trace:
+//!
+//! ```no_run
+//! use pbo::prelude::*;
+//!
+//! let problem = SyntheticFn::ackley(4);
+//! let trace = JsonlTraceWriter::create("run.jsonl").unwrap();
+//! let cfg = RunConfig::paper(4).seed(7);
+//! let record = pbo::run_observed(AlgorithmKind::Turbo, &problem, cfg, trace).unwrap();
+//! # let _ = record;
+//! ```
+//!
+//! Observation never perturbs optimization: results are bit-identical
+//! with and without an observer (see DESIGN.md §9).
 
 pub use pbo_acq as acq;
 pub use pbo_core as core;
@@ -39,6 +56,105 @@ pub use pbo_opt as opt;
 pub use pbo_problems as problems;
 pub use pbo_sampling as sampling;
 pub use pbo_uphes as uphes;
+
+/// The user-facing vocabulary in one import: algorithms, budgets,
+/// configuration, records, observability and the common problems.
+pub mod prelude {
+    pub use crate::core::algorithms::{
+        run_algorithm, run_algorithm_observed, run_algorithm_with, AlgorithmKind,
+    };
+    pub use crate::core::budget::{Budget, Stopping};
+    pub use crate::core::config::{AcqConfig, AlgoConfig, FantasyKind, QeiConfig};
+    pub use crate::core::engine::{Engine, EngineBuilder};
+    pub use crate::core::error::ConfigError;
+    pub use crate::core::exec::FtPolicy;
+    pub use crate::core::observe::jsonl::JsonlTraceWriter;
+    pub use crate::core::observe::metrics::{MetricsObserver, MetricsRegistry};
+    pub use crate::core::observe::{
+        CollectingObserver, Event, FanoutObserver, NullObserver, Observer,
+    };
+    pub use crate::core::record::{CycleRecord, FaultCounters, RunRecord};
+    pub use crate::problems::fault::{FaultPlan, FaultyProblem};
+    pub use crate::problems::{Problem, SyntheticFn, UphesProblem};
+    pub use crate::{run, run_observed, RunConfig};
+}
+
+use crate::core::algorithms::{run_algorithm_observed, AlgorithmKind};
+use crate::core::budget::Budget;
+use crate::core::config::AlgoConfig;
+use crate::core::error::ConfigError;
+use crate::core::observe::{NullObserver, Observer};
+use crate::core::record::RunRecord;
+use crate::problems::Problem;
+
+/// Everything one optimization run needs besides the algorithm and the
+/// problem: budget, algorithm configuration and seed.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Time/evaluation budget.
+    pub budget: Budget,
+    /// Algorithm configuration (defaults reproduce the paper's setup).
+    pub algo: AlgoConfig,
+    /// Run seed (the whole run is a deterministic function of it).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper's protocol at batch size `q`: 20 virtual minutes,
+    /// 10 s simulations, `16q` initial samples.
+    pub fn paper(q: usize) -> Self {
+        RunConfig { budget: Budget::paper(q), algo: AlgoConfig::default(), seed: 0 }
+    }
+
+    /// Cycle-bounded run at batch size `q` (tests, examples, demos).
+    pub fn cycles(n_cycles: usize, q: usize) -> Self {
+        RunConfig {
+            budget: Budget::cycles(n_cycles, q),
+            algo: AlgoConfig::test_profile(),
+            seed: 0,
+        }
+    }
+
+    /// Set the seed; builder-style.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the budget; builder-style.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the algorithm configuration; builder-style.
+    pub fn algo(mut self, algo: AlgoConfig) -> Self {
+        self.algo = algo;
+        self
+    }
+}
+
+/// Run one optimization: the one-call entry point of the workspace.
+/// Validates the configuration (typed [`ConfigError`] on failure) and
+/// returns the full [`RunRecord`].
+pub fn run(
+    kind: AlgorithmKind,
+    problem: &dyn Problem,
+    cfg: RunConfig,
+) -> Result<RunRecord, ConfigError> {
+    run_observed(kind, problem, cfg, NullObserver)
+}
+
+/// [`run`] with an observer attached (JSONL trace, metrics, or any
+/// custom [`Observer`]). Observation never changes the result.
+pub fn run_observed<'a>(
+    kind: AlgorithmKind,
+    problem: &'a dyn Problem,
+    cfg: RunConfig,
+    observer: impl Observer + 'a,
+) -> Result<RunRecord, ConfigError> {
+    run_algorithm_observed(kind, problem, &cfg.budget, cfg.algo, cfg.seed, observer)
+}
 
 /// Crate version string.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

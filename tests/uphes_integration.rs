@@ -2,7 +2,7 @@
 
 use pbo::core::algorithms::{run_algorithm_with, AlgorithmKind};
 use pbo::core::budget::Budget;
-use pbo::core::engine::AlgoConfig;
+use pbo::core::engine::{AcqConfig, AlgoConfig, QeiConfig};
 use pbo::problems::random_search::random_search;
 use pbo::problems::{Problem, UphesProblem};
 use pbo::uphes::schedule::Schedule;
@@ -17,11 +17,8 @@ fn uphes_test_config() -> AlgoConfig {
     AlgoConfig {
         fit: pbo::gp::FitConfig { restarts: 2, max_iters: 40, warm_iters: 12, ..FitConfig::default() },
         full_fit_every: 1,
-        acq_restarts: 8,
-        acq_raw_samples: 96,
-        qei_samples: 64,
-        qei_restarts: 2,
-        qei_raw_samples: 12,
+        acq: AcqConfig { restarts: 8, raw_samples: 96, ..AcqConfig::default() },
+        qei: QeiConfig { samples: 64, restarts: 2, raw_samples: 12 },
         cost_model: CostModel::Fixed { per_call: 1.0 },
         ..AlgoConfig::default()
     }
