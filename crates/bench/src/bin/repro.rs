@@ -5,88 +5,44 @@
 //! ```text
 //! repro <artifact> [--profile fast|paper|smoke] [--runs N]
 //!                  [--batches 1,2,4] [--minutes M] [--out DIR]
+//!                  [--jobs N] [--resume] [--trace]
 //!
 //! artifacts: table1 table2 table3 table4 table5 table6 table7
 //!            fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!            baseline calibrate all
 //! ```
+//!
+//! Replication grids run through `pbo_bench::orchestrate`: `--jobs N`
+//! workers, one checkpoint per completed run under `<out>/checkpoints`,
+//! and `--resume` to continue an interrupted campaign. Artifacts are
+//! byte-identical for any `--jobs` value and any interruption point.
 
+use pbo_bench::cli::{self, Opts};
 use pbo_bench::grid::{run_seed, ProblemSpec, UPHES_DAY_SEED};
+use pbo_bench::orchestrate::{execute_grid, GridPlan, GridRecords, OrchestratorConfig};
 use pbo_bench::profiles::Profile;
 use pbo_bench::report;
 use pbo_core::algorithms::{run_algorithm_with, AlgorithmKind};
 use pbo_core::budget::Stopping;
+use pbo_core::observe::metrics::MetricsRegistry;
 use pbo_core::record::RunRecord;
-use pbo_problems::{random_search, Problem, UphesProblem};
-use std::collections::HashMap;
-use std::path::PathBuf;
-
-struct Opts {
-    artifact: String,
-    profile: Profile,
-    runs: Option<usize>,
-    batches: Option<Vec<usize>>,
-    minutes: Option<f64>,
-    out: PathBuf,
-}
-
-fn parse_args() -> Opts {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = Opts {
-        artifact: args.first().cloned().unwrap_or_else(|| "help".into()),
-        profile: Profile::Fast,
-        runs: None,
-        batches: None,
-        minutes: None,
-        out: PathBuf::from("results"),
-    };
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--profile" => {
-                i += 1;
-                opts.profile = Profile::from_name(&args[i]).unwrap_or_else(|| {
-                    eprintln!("unknown profile '{}'", args[i]);
-                    std::process::exit(2);
-                });
-            }
-            "--runs" => {
-                i += 1;
-                opts.runs = Some(args[i].parse().expect("--runs N"));
-            }
-            "--batches" => {
-                i += 1;
-                opts.batches = Some(
-                    args[i].split(',').map(|s| s.parse().expect("--batches q,q,…")).collect(),
-                );
-            }
-            "--minutes" => {
-                i += 1;
-                opts.minutes = Some(args[i].parse().expect("--minutes M"));
-            }
-            "--out" => {
-                i += 1;
-                opts.out = PathBuf::from(&args[i]);
-            }
-            other => {
-                eprintln!("unknown option '{other}'");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-    opts
-}
+use pbo_problems::Problem;
+use std::path::Path;
 
 fn algo_names(set: &[AlgorithmKind]) -> Vec<&'static str> {
     set.iter().map(|a| a.name()).collect()
 }
 
-/// Records of one grid: per (algorithm, batch size) cell.
-type GridRecords = HashMap<(AlgorithmKind, usize), Vec<RunRecord>>;
+/// Write a CSV or exit with a clean error (no panicking `.expect`).
+fn save_csv(path: &Path, header: &str, rows: &[Vec<f64>]) {
+    if let Err(e) = report::write_csv(path, header, rows) {
+        eprintln!("repro: failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
 
-/// Run the full (algorithm × batch) grid for one problem, reusing the
-/// same seeds across algorithms.
+/// Run the full (algorithm × batch) grid for one problem through the
+/// orchestrator, reusing the same seeds across algorithms.
 fn run_grid(
     spec: ProblemSpec,
     opts: &Opts,
@@ -94,43 +50,51 @@ fn run_grid(
     let batches = opts.batches.clone().unwrap_or_else(|| opts.profile.batch_sizes());
     let algos = AlgorithmKind::paper_set().to_vec();
     let runs = opts.runs.unwrap_or_else(|| opts.profile.runs());
-    let problem = spec.build();
-    let cfg = opts.profile.algo_config();
-    let mut map = HashMap::new();
+    let plan = GridPlan {
+        problem: spec,
+        algos: algos.clone(),
+        batches: batches.clone(),
+        runs,
+        profile: opts.profile,
+        minutes: opts.minutes,
+    };
+    let cfg = OrchestratorConfig {
+        jobs: opts.jobs,
+        resume: opts.resume,
+        dir: opts.out.join("checkpoints"),
+        trace: opts.trace,
+    };
+    let metrics = MetricsRegistry::new();
+    let outcome = execute_grid(&plan, &cfg, Some(&metrics)).unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[{}] grid complete: {} runs executed, {} resumed (jobs = {})",
+        spec.name(),
+        outcome.executed,
+        outcome.resumed,
+        opts.jobs
+    );
+    // Deterministic per-cell summaries from the folded records.
     for &q in &batches {
-        let mut budget = opts.profile.budget(q);
-        if let Some(m) = opts.minutes {
-            budget.stopping = Stopping::VirtualTime(m * 60.0);
-        }
         for &algo in &algos {
-            let t0 = std::time::Instant::now();
-            let recs: Vec<RunRecord> = (0..runs)
-                .map(|r| {
-                    run_algorithm_with(
-                        algo,
-                        problem.as_ref(),
-                        &budget,
-                        cfg.clone(),
-                        run_seed(spec, q, r),
-                    )
-                })
-                .collect();
+            let recs = &outcome.records[&(algo, q)];
             let mean_cycles: f64 =
-                recs.iter().map(|r| r.n_cycles() as f64).sum::<f64>() / runs as f64;
+                recs.iter().map(|r| r.n_cycles() as f64).sum::<f64>() / recs.len() as f64;
             eprintln!(
-                "[{}] q={q} {}: {runs} runs in {:.1}s wall, {:.0} cycles avg",
+                "[{}] q={q} {}: {} runs, {:.0} cycles avg",
                 spec.name(),
                 algo.name(),
-                t0.elapsed().as_secs_f64(),
+                recs.len(),
                 mean_cycles
             );
-            if let Some(line) = report::fault_summary(&recs) {
+            if let Some(line) = report::fault_summary(recs) {
                 eprintln!("[{}] q={q} {}: {line}", spec.name(), algo.name());
             }
-            map.insert((algo, q), recs);
         }
     }
-    (batches, algos, map)
+    (batches, algos, outcome.records)
 }
 
 fn benchmark_table(spec: ProblemSpec, title: &str, opts: &Opts) {
@@ -141,15 +105,12 @@ fn benchmark_table(spec: ProblemSpec, title: &str, opts: &Opts) {
         .collect();
     let names = algo_names(&algos);
     println!("{}", report::format_benchmark_table(title, &batches, &names, &cells));
-    let mut rows = Vec::new();
-    for (qi, &q) in batches.iter().enumerate() {
-        for (ai, _) in algos.iter().enumerate() {
-            let s = &cells[qi][ai];
-            rows.push(vec![q as f64, ai as f64, s.mean, s.sd, s.min, s.max]);
-        }
-    }
-    let path = opts.out.join(format!("{}_final.csv", spec.name()));
-    report::write_csv(&path, "q,algo_index,mean,sd,min,max", &rows).expect("write csv");
+    let rows = report::benchmark_csv_rows(&batches, &cells);
+    save_csv(
+        &opts.out.join(format!("{}_final.csv", spec.name())),
+        "q,algo_index,mean,sd,min,max",
+        &rows,
+    );
     write_fig2_series(spec, &batches, &algos, &map, opts);
 }
 
@@ -171,8 +132,11 @@ fn write_fig2_series(
             rows.push(vec![batches[qi] as f64, ai as f64, mean, sd]);
         }
     }
-    let path = opts.out.join(format!("{}_evals_by_batch.csv", spec.name()));
-    report::write_csv(&path, "q,algo_index,sims_mean,sims_sd", &rows).expect("write csv");
+    save_csv(
+        &opts.out.join(format!("{}_evals_by_batch.csv", spec.name())),
+        "q,algo_index,sims_mean,sims_sd",
+        &rows,
+    );
 }
 
 fn uphes_artifacts(opts: &Opts, want: &str) {
@@ -192,8 +156,7 @@ fn uphes_artifacts(opts: &Opts, want: &str) {
                 rows.push(vec![q as f64, ai as f64, s.min, s.mean, s.max, s.sd]);
             }
         }
-        report::write_csv(&opts.out.join("table7_uphes.csv"), "q,algo_index,min,mean,max,sd", &rows)
-            .expect("write csv");
+        save_csv(&opts.out.join("table7_uphes.csv"), "q,algo_index,min,mean,max,sd", &rows);
     }
 
     // Figs. 3–7: convergence traces for q = 1, 2, 4, 8, 16.
@@ -224,12 +187,11 @@ fn uphes_artifacts(opts: &Opts, want: &str) {
                     rows.push(vec![ai as f64, i as f64, *m, *s]);
                 }
             }
-            report::write_csv(
+            save_csv(
                 &opts.out.join(format!("{fig}_uphes_q{q}_trace.csv")),
                 "algo_index,eval,profit_mean,profit_sd",
                 &rows,
-            )
-            .expect("write csv");
+            );
         }
     }
 
@@ -247,12 +209,7 @@ fn uphes_artifacts(opts: &Opts, want: &str) {
                     rows.push(vec![q as f64, i as f64, j as f64, p[i][j]]);
                 }
             }
-            report::write_csv(
-                &opts.out.join(format!("fig8_pvalues_q{q}.csv")),
-                "q,algo_i,algo_j,p",
-                &rows,
-            )
-            .expect("write csv");
+            save_csv(&opts.out.join(format!("fig8_pvalues_q{q}.csv")), "q,algo_i,algo_j,p", &rows);
         }
     }
 
@@ -283,12 +240,11 @@ fn uphes_artifacts(opts: &Opts, want: &str) {
                 ]);
             }
         }
-        report::write_csv(
+        save_csv(
             &opts.out.join("fig9_scalability.csv"),
             "q,algo_index,sims_mean,sims_sd,cycles_mean,cycles_sd",
             &rows,
-        )
-        .expect("write csv");
+        );
     }
 }
 
@@ -342,8 +298,8 @@ fn static_tables(which: &str) {
 fn baseline(opts: &Opts) {
     // §4: best of ~12 000 uniform random samples on the UPHES problem.
     let n = if opts.profile == Profile::Smoke { 1_000 } else { 12_000 };
-    let p = UphesProblem::maizeret(UPHES_DAY_SEED);
-    let r = random_search::random_search(&p, n, 99);
+    let p = pbo_problems::UphesProblem::maizeret(UPHES_DAY_SEED);
+    let r = pbo_problems::random_search::random_search(&p, n, 99);
     println!("# §4 random baseline: best of {n} uniform samples");
     println!("best expected profit = {:.0} EUR", r.value);
     let rows: Vec<Vec<f64>> = r
@@ -353,8 +309,7 @@ fn baseline(opts: &Opts) {
         .step_by(50)
         .map(|(i, v)| vec![i as f64, *v])
         .collect();
-    report::write_csv(&opts.out.join("baseline_random.csv"), "eval,best_profit", &rows)
-        .expect("write csv");
+    save_csv(&opts.out.join("baseline_random.csv"), "eval,best_profit", &rows);
 }
 
 fn calibrate(opts: &Opts) {
@@ -453,8 +408,48 @@ fn extensions(opts: &Opts) {
     }
 }
 
+/// Artifacts that write CSV output (and therefore need `--out`).
+fn writes_output(artifact: &str) -> bool {
+    matches!(
+        artifact,
+        "table4"
+            | "table5"
+            | "table6"
+            | "table7"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "uphes"
+            | "baseline"
+            | "all"
+    )
+}
+
+fn usage_exit(code: i32) -> ! {
+    eprintln!("{}", cli::USAGE);
+    std::process::exit(code);
+}
+
 fn main() {
-    let opts = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            usage_exit(2);
+        }
+    };
+    if writes_output(&opts.artifact) {
+        if let Err(e) = cli::prepare_out_dir(&opts.out) {
+            eprintln!("repro: {e}");
+            std::process::exit(1);
+        }
+    }
     match opts.artifact.as_str() {
         "table1" | "table2" | "table3" => static_tables(&opts.artifact),
         "table4" => benchmark_table(ProblemSpec::Rosenbrock, "Table 4: Rosenbrock final cost", &opts),
@@ -485,13 +480,11 @@ fn main() {
             uphes_artifacts(&opts, "all");
             baseline(&opts);
         }
-        _ => {
-            eprintln!(
-                "usage: repro <table1..table7|fig2..fig9|baseline|calibrate|all> \
-                 [--profile fast|paper|smoke] [--runs N] [--batches 1,2,4] \
-                 [--minutes M] [--out DIR]"
-            );
-            std::process::exit(2);
+        unknown => {
+            if unknown != "help" {
+                eprintln!("repro: unknown artifact '{unknown}'");
+            }
+            usage_exit(2);
         }
     }
 }

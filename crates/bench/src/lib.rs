@@ -20,10 +20,19 @@
 //!
 //! Numeric results are printed as aligned text tables and also written
 //! as CSV under `results/`.
+//!
+//! Replication grids execute through [`orchestrate`]: a `--jobs N`
+//! worker pool with one content-addressed checkpoint per completed run,
+//! `--resume` to continue an interrupted campaign, and aggregation as a
+//! pure fold over the checkpoint files — artifacts are byte-identical
+//! for any worker count and any interruption point.
 
+pub mod cli;
 pub mod grid;
+pub mod orchestrate;
 pub mod profiles;
 pub mod report;
 
 pub use grid::{run_cell, ProblemSpec};
+pub use orchestrate::{execute_grid, GridPlan, OrchestratorConfig};
 pub use profiles::Profile;

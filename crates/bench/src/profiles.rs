@@ -35,6 +35,16 @@ impl Profile {
         })
     }
 
+    /// Stable display name (inverse of [`Profile::from_name`]; also
+    /// part of checkpoint run keys, so renaming invalidates resumes).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Paper => "paper",
+            Profile::Fast => "fast",
+            Profile::Smoke => "smoke",
+        }
+    }
+
     /// Default repetition count.
     pub fn runs(self) -> usize {
         match self {
@@ -121,6 +131,9 @@ mod tests {
         assert_eq!(Profile::from_name("fast"), Some(Profile::Fast));
         assert_eq!(Profile::from_name("smoke"), Some(Profile::Smoke));
         assert_eq!(Profile::from_name("x"), None);
+        for p in [Profile::Paper, Profile::Fast, Profile::Smoke] {
+            assert_eq!(Profile::from_name(p.name()), Some(p));
+        }
     }
 
     #[test]

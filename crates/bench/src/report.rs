@@ -67,6 +67,20 @@ pub fn format_benchmark_table(
     out
 }
 
+/// CSV rows for the Tables 4–6 artifact: one row per (q, algorithm)
+/// cell with the final-value summary, in grid order. Shared by the
+/// repro binary and the golden aggregation test so the pinned bytes
+/// exercise the production path.
+pub fn benchmark_csv_rows(batch_sizes: &[usize], cells: &[Vec<Summary>]) -> Vec<Vec<f64>> {
+    let mut rows = Vec::new();
+    for (qi, &q) in batch_sizes.iter().enumerate() {
+        for (ai, s) in cells[qi].iter().enumerate() {
+            rows.push(vec![q as f64, ai as f64, s.mean, s.sd, s.min, s.max]);
+        }
+    }
+    rows
+}
+
 /// Table 7: per batch size, rows = algorithms, columns =
 /// min/mean/max/sd of the final profit.
 pub fn format_table7(

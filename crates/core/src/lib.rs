@@ -29,8 +29,11 @@
 //!   TuRBO (plus uniform random search as the weak baseline);
 //! - [`partition`]: the binary-space-partition tree behind BSP-EGO;
 //! - [`trust_region`]: TuRBO's trust-region state machine;
+//! - [`json`]: minimal JSON value tree (parser + lossless float
+//!   encoding) backing the checkpoint serialization of [`record`];
 //! - [`record`]: per-run traces (cycles, evaluations, time split) that
-//!   the bench harness aggregates into the paper's tables and figures;
+//!   the bench harness aggregates into the paper's tables and figures,
+//!   with hand-rolled JSON (de)serialization for run checkpoints;
 //! - [`stats`]: summary statistics and Welch's t-test (Figure 8).
 
 pub mod algorithms;
@@ -40,6 +43,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod json;
 pub mod observe;
 pub mod partition;
 pub mod record;

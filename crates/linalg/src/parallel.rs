@@ -199,6 +199,63 @@ where
     out
 }
 
+/// Dynamically scheduled parallel map over `0..n` with an **explicit**
+/// worker count: workers pull the next index from a shared atomic
+/// counter, so tasks of wildly different durations (e.g. whole
+/// optimization runs in the bench orchestrator) balance instead of
+/// being pinned to contiguous blocks as in [`par_map`].
+///
+/// The output is keyed by index — slot `i` always holds `f(i)` — so the
+/// result is independent of the worker count and of scheduling order.
+/// Workers run inside the parallel-region guard: nested kernel fan-outs
+/// (GP fits, multistarts) see `num_threads() == 1` and stay sequential,
+/// so an `N`-worker orchestration neither oversubscribes the machine
+/// nor perturbs the bit-exact per-run arithmetic.
+///
+/// A panic in `f` propagates to the caller once the scope joins.
+pub fn par_map_workers<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            s.spawn(move || {
+                enter_parallel_region();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(v);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool filled every slot")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +348,26 @@ mod tests {
         set_num_threads(0);
         assert!(flags.iter().all(|&(inside, n)| inside && n == 1));
         // The caller's thread is unaffected once the scope ends.
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn par_map_workers_matches_serial_for_any_worker_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_workers(37, workers, |i| i * i), expect, "workers={workers}");
+        }
+        let empty: Vec<usize> = par_map_workers(0, 4, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn par_map_workers_nested_fanouts_stay_sequential() {
+        let _g = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(4);
+        let flags = par_map_workers(16, 4, |_| (in_parallel_region(), num_threads()));
+        set_num_threads(0);
+        assert!(flags.iter().all(|&(inside, n)| inside && n == 1));
         assert!(!in_parallel_region());
     }
 

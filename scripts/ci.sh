@@ -42,6 +42,28 @@ if [[ "${1:-}" != "--quick" ]]; then
   echo "== observability trace smoke =="
   cargo run --release -q --example observability >/dev/null
 
+  # Orchestrator smoke: a tiny real grid must produce byte-identical
+  # artifacts (a) sequentially vs. with a 2-worker pool, and (b) after
+  # deleting a checkpoint mid-campaign and resuming — the crash-safety
+  # contract of pbo_bench::orchestrate.
+  echo "== orchestrator smoke: --jobs / --resume reproduce sequential =="
+  orch=target/ci-orch
+  rm -rf "$orch"
+  grid=(table5 --profile smoke --runs 1 --batches 2 --minutes 0.5)
+  cargo run --release -q -p pbo-bench --bin repro -- \
+    "${grid[@]}" --jobs 1 --out "$orch/seq" >/dev/null
+  cargo run --release -q -p pbo-bench --bin repro -- \
+    "${grid[@]}" --jobs 2 --out "$orch/par" >/dev/null
+  cmp "$orch/seq/ackley_final.csv" "$orch/par/ackley_final.csv"
+  cmp "$orch/seq/ackley_evals_by_batch.csv" "$orch/par/ackley_evals_by_batch.csv"
+  # Simulate a crash: drop one checkpoint, resume, re-diff.
+  rm "$(ls "$orch/par/checkpoints/ackley/"*.json | head -1)"
+  cargo run --release -q -p pbo-bench --bin repro -- \
+    "${grid[@]}" --jobs 2 --resume --out "$orch/par" >/dev/null
+  cmp "$orch/seq/ackley_final.csv" "$orch/par/ackley_final.csv"
+  cmp "$orch/seq/ackley_evals_by_batch.csv" "$orch/par/ackley_evals_by_batch.csv"
+  rm -rf "$orch"
+
   # The public API surface is documented; rustdoc warnings (broken
   # intra-doc links, missing docs) are errors.
   echo "== cargo doc --no-deps (warnings are errors) =="

@@ -9,6 +9,14 @@
 # Extra repro arguments pass through, e.g.:
 #   scripts/run_experiments.sh table6 --runs 10 --profile paper
 #
+# Replication grids run through the checkpointing orchestrator: add
+# --jobs N to shard a grid over N workers (artifacts are byte-identical
+# for any N) and --resume to continue an interrupted sweep from the
+# checkpoints under results/checkpoints/. JOBS=N (env) sets a default
+# worker count for a plain sweep:
+#   JOBS=4 scripts/run_experiments.sh table5
+#   scripts/run_experiments.sh table5 --jobs 4 --resume
+#
 # --bench-acq / --bench-fit write machine-readable per-benchmark lines
 # (mean/stddev/min ns) to results/bench_acq.jsonl / results/bench_fit.jsonl
 # via the vendored criterion shim's CRITERION_SHIM_OUT hook. Run them on
@@ -40,6 +48,11 @@ case "${1:-}" in
   *)
     artifacts=("$@")
     [[ ${#artifacts[@]} -eq 0 ]] && artifacts=(all)
+    # JOBS=N applies a default worker count unless --jobs was given
+    # explicitly among the pass-through arguments.
+    if [[ -n "${JOBS:-}" ]] && [[ ! " ${artifacts[*]} " == *" --jobs "* ]]; then
+      artifacts+=(--jobs "$JOBS")
+    fi
     cargo run --release -p pbo-bench --bin repro -- "${artifacts[@]}"
     ;;
 esac
