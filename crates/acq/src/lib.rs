@@ -96,6 +96,10 @@ pub struct AcqWorkspace {
     /// `ℓ_j²` on the bit-exact small-system path, `1/ℓ_j²` on the
     /// reassociating large-system path.
     l2: Vec<f64>,
+    /// Candidate-block matrix recycled across batched raw-sample
+    /// scoring calls (the multistart scores thousands of Sobol
+    /// candidates per cycle; this keeps that path allocation-free).
+    pub(crate) pts: Matrix,
 }
 
 impl AcqWorkspace {

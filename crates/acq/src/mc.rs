@@ -190,6 +190,24 @@ impl QExpectedImprovement {
         })
     }
 
+    /// qEI value at a flattened batch `x = [x_1; …; x_q]` (length q·d),
+    /// recycling the thread-local workspace's batch matrix instead of
+    /// allocating one per call — the value-only analogue of
+    /// [`Self::value_grad_flat`], used on the multistart's
+    /// line-search/raw-scoring path.
+    pub fn value_flat(&self, gp: &GaussianProcess, x_flat: &[f64]) -> f64 {
+        let q = self.q;
+        let d = gp.dim();
+        assert_eq!(x_flat.len(), q * d);
+        let mut pts = QEI_WS
+            .with(|w| std::mem::replace(&mut w.borrow_mut().pts, Matrix::zeros(0, 0)));
+        pts.reset_zeros(q, d);
+        pts.as_mut_slice().copy_from_slice(x_flat);
+        let v = self.value(gp, &pts);
+        QEI_WS.with(|w| w.borrow_mut().pts = pts);
+        v
+    }
+
     /// qEI value and gradient with respect to the flattened batch
     /// `x = [x_1; …; x_q]` (length q·d).
     pub fn value_grad_flat(&self, gp: &GaussianProcess, x_flat: &[f64]) -> (f64, Vec<f64>) {
@@ -335,10 +353,7 @@ pub fn optimize_qei(
     let flat_bounds = Bounds::new(lo, hi);
     let obj = FnGradObjective::new(
         q * d,
-        |x: &[f64]| {
-            let pts = Matrix::from_vec(q, d, x.to_vec()).expect("shape");
-            -qei.value(gp, &pts)
-        },
+        |x: &[f64]| -qei.value_flat(gp, x),
         |x: &[f64]| {
             let (v, g) = qei.value_grad_flat(gp, x);
             (-v, g.into_iter().map(|gi| -gi).collect())

@@ -274,8 +274,14 @@ impl BatchObjective for NegAcq<'_> {
     fn value_batch(&self, xs: &[f64], out: &mut [f64]) {
         let d = self.gp.dim().max(1);
         debug_assert_eq!(xs.len(), out.len() * d);
-        let pts = Matrix::from_vec(out.len(), d, xs.to_vec()).expect("block shape");
-        self.acq.value_many(self.gp, &pts, out);
+        // Candidate blocks arrive every cycle with the same shape; the
+        // per-thread workspace matrix absorbs them without reallocating.
+        ACQ_WS.with(|w| {
+            let ws = &mut *w.borrow_mut();
+            ws.pts.reset_zeros(out.len(), d);
+            ws.pts.as_mut_slice().copy_from_slice(xs);
+            self.acq.value_many(self.gp, &ws.pts, out);
+        });
         for o in out.iter_mut() {
             *o = -*o;
         }

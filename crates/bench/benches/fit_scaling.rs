@@ -303,6 +303,80 @@ fn bench_refit_warm(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cycle-amortized posterior maintenance: `GaussianProcess::update`
+/// (extend the cached Cholesky factor by the q new rows, O(n²q))
+/// vs the engine's pre-PR non-full-cycle floor — a frozen-hyperparameter
+/// rebuild that refactors the whole (n+q)×(n+q) system from scratch
+/// (O(n³)). The `update_vs_refit` headline in `BENCH_fit.json` is the
+/// `gp_rebuild`/`gp_update` ratio at n=512, q=8.
+fn bench_update_vs_refit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fit_scaling");
+    let (meas, warm) = if smoke() { (150, 30) } else { (1500, 200) };
+    g.measurement_time(std::time::Duration::from_millis(meas));
+    g.warm_up_time(std::time::Duration::from_millis(warm));
+    g.sample_size(10);
+    let qs: &[usize] = if smoke() { &[8] } else { &[4, 8, 16] };
+    for &n in sizes(&[256usize, 512, 1024]) {
+        for &q in qs {
+            let (x_all, y_all) = dataset(n + q, 6);
+            let x = Matrix::from_fn(n, DIM, |i, j| x_all[(i, j)]);
+            let kernel = Kernel::new(KernelType::Matern52, DIM);
+            let base = GaussianProcess::new(x, &y_all[..n], kernel.clone(), 1e-4).unwrap();
+            let new_xs: Vec<Vec<f64>> =
+                (n..n + q).map(|i| x_all.row(i).to_vec()).collect();
+            let new_ys = &y_all[n..];
+            // Equivalence guard: the exact-extension fast path must
+            // predict what the tolerance-level `condition_on` extension
+            // predicts (same frozen hyperparameters and standardization;
+            // `GaussianProcess::new` re-standardizes, so it is the cost
+            // baseline here, not the equivalence reference).
+            {
+                let upd = base.update(&new_xs, new_ys).unwrap();
+                let cond = base.condition_on(&new_xs, new_ys).unwrap();
+                let probe = vec![0.4; DIM];
+                let (mu, vu) = upd.predict(&probe);
+                let (mr, vr) = cond.predict(&probe);
+                assert!((mu - mr).abs() <= 1e-8 * (1.0 + mr.abs()), "{mu} vs {mr}");
+                assert!((vu - vr).abs() <= 1e-8 * (1.0 + vr.abs()), "{vu} vs {vr}");
+            }
+            let id = format!("{n}q{q}");
+            g.bench_with_input(BenchmarkId::new("gp_update", &id), &n, |b, _| {
+                b.iter(|| base.update(&new_xs, new_ys).unwrap().n())
+            });
+            g.bench_with_input(BenchmarkId::new("gp_rebuild", &id), &n, |b, _| {
+                b.iter(|| {
+                    GaussianProcess::new(x_all.clone(), &y_all, kernel.clone(), 1e-4)
+                        .unwrap()
+                        .n()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Dense Cholesky factorization past `BIT_EXACT_MAX_N`: the cache-blocked
+/// right-looking path whose TRSM/SYRK sweeps fan out over
+/// `par_map_workers`. On a single-core host this measures the blocked
+/// serial cost; re-record on a multi-core host for the parallel speedup.
+fn bench_chol_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fit_scaling");
+    let (meas, warm) = if smoke() { (150, 30) } else { (2000, 200) };
+    g.measurement_time(std::time::Duration::from_millis(meas));
+    g.warm_up_time(std::time::Duration::from_millis(warm));
+    g.sample_size(10);
+    for &n in sizes(&[512usize, 1024]) {
+        let (x, _) = dataset(n, 7);
+        let kernel = Kernel::new(KernelType::Matern52, DIM);
+        let mut a = kernel.matrix(&x);
+        a.add_diag(1e-4);
+        g.bench_with_input(BenchmarkId::new("chol_blocked", n), &n, |b, _| {
+            b.iter(|| Cholesky::factor(&a).unwrap().log_det())
+        });
+    }
+    g.finish();
+}
+
 /// Batched prediction over a 128-point candidate set vs the per-point
 /// loop it replaced.
 fn bench_predict_many(c: &mut Criterion) {
@@ -340,6 +414,8 @@ criterion_group!(
     bench_mll_paths,
     bench_full_fit,
     bench_refit_warm,
+    bench_update_vs_refit,
+    bench_chol_factor,
     bench_predict_many
 );
 criterion_main!(benches);

@@ -102,7 +102,7 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
                         let m: f64 = value
                             .parse()
                             .map_err(|_| format!("--minutes: invalid number '{value}'"))?;
-                        if !(m > 0.0) {
+                        if m.is_nan() || m <= 0.0 {
                             return Err(format!("--minutes: must be positive, got '{value}'"));
                         }
                         opts.minutes = Some(m);

@@ -83,6 +83,13 @@ pub struct AlgoConfig {
     /// Run a full multistart fit every k cycles; warm-start refits in
     /// between (the paper reduces intermediate fitting budgets).
     pub full_fit_every: usize,
+    /// On non-full cycles, keep hyperparameters frozen and extend the
+    /// cached Cholesky factor with the q new rows (O(n²q)) instead of
+    /// warm-refitting and refactoring from scratch (O(n³)). Off by
+    /// default: warm refits move hyperparameters every cycle, so
+    /// enabling this changes trajectories (bit-identical to a
+    /// frozen-hyperparameter rebuild, not to a warm refit).
+    pub incremental_updates: bool,
     /// Single-point acquisition settings.
     pub acq: AcqConfig,
     /// Joint Monte-Carlo q-EI settings.
@@ -99,6 +106,7 @@ impl Default for AlgoConfig {
         AlgoConfig {
             fit: FitConfig { restarts: 2, max_iters: 40, warm_iters: 12, ..FitConfig::default() },
             full_fit_every: 10,
+            incremental_updates: false,
             acq: AcqConfig::default(),
             qei: QeiConfig::default(),
             cost_model: CostModel::default(),
@@ -124,6 +132,9 @@ impl AlgoConfig {
     /// violation as a typed error.
     pub fn validate(&self) -> Result<(), ConfigError> {
         at_least_one("cfg.full_fit_every", self.full_fit_every)?;
+        if self.incremental_updates && self.full_fit_every == 1 {
+            return Err(ConfigError::IncrementalUpdatesNeedStableCycles);
+        }
         at_least_one("cfg.fit.max_iters", self.fit.max_iters)?;
         at_least_one("cfg.acq.raw_samples", self.acq.raw_samples)?;
         at_least_one("cfg.qei.samples", self.qei.samples)?;
@@ -152,7 +163,8 @@ impl AlgoConfig {
         if !(self.ft.backoff_factor.is_finite() && self.ft.backoff_factor >= 1.0) {
             return Err(ConfigError::BackoffFactorTooSmall { got: self.ft.backoff_factor });
         }
-        if !(self.ft.timeout_secs > 0.0) {
+        // NaN must fail too (+∞ is a legitimate "no timeout").
+        if self.ft.timeout_secs.is_nan() || self.ft.timeout_secs <= 0.0 {
             return Err(ConfigError::NonPositive {
                 field: "cfg.ft.timeout_secs",
                 got: self.ft.timeout_secs,
@@ -182,6 +194,11 @@ mod tests {
         );
 
         let mut c = AlgoConfig::default();
+        c.incremental_updates = true;
+        c.full_fit_every = 1;
+        assert_eq!(c.validate(), Err(ConfigError::IncrementalUpdatesNeedStableCycles));
+
+        let mut c = AlgoConfig::default();
         c.acq.ucb_beta = f64::NAN;
         assert!(matches!(c.validate(), Err(ConfigError::Negative { field, .. })
             if field == "cfg.acq.ucb_beta"));
@@ -201,6 +218,14 @@ mod tests {
         let mut c = AlgoConfig::default();
         c.ft.timeout_secs = f64::NAN;
         assert!(matches!(c.validate(), Err(ConfigError::NonPositive { .. })));
+    }
+
+    #[test]
+    fn incremental_updates_with_stable_schedule_validates() {
+        let mut c = AlgoConfig::default();
+        c.incremental_updates = true;
+        c.full_fit_every = 2;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -364,7 +364,10 @@ impl<'a> Engine<'a> {
     /// Fit or refit the surrogate, charged as fitting time. Full
     /// multistart fits happen on the first cycle and every
     /// `full_fit_every`-th one; other cycles warm-start from the current
-    /// hyperparameters with the reduced budget.
+    /// hyperparameters with the reduced budget, or — when
+    /// `incremental_updates` is set — freeze the hyperparameters and
+    /// extend the cached Cholesky factor with only the new rows
+    /// (O(n²q) instead of O(n³)).
     pub fn fit_model(&mut self) {
         self.begin_cycle();
         let (f0, _, _) = self.cycle_start_split;
@@ -387,6 +390,17 @@ impl<'a> Engine<'a> {
                     &mut seeds,
                     &mut ws,
                 )
+            } else if self.cfg.incremental_updates {
+                // Hyperparameter-stable cycle: append only the rows that
+                // arrived since the model was built. `update` falls back
+                // to a frozen-hyperparameter rebuild internally if the
+                // factor extension fails, so the surrogate is identical
+                // either way.
+                let prev = prev.as_ref().expect("incremental update requires a model");
+                let k = prev.n();
+                let xs_new: Vec<Vec<f64>> = (k..y.len()).map(|i| x.row(i).to_vec()).collect();
+                prev.update(&xs_new, &y[k..])
+                    .map(|g| (g, fit::FitReport { mll: f64::NAN, evals: 0, starts: 0 }))
             } else {
                 let prev = prev.as_ref().expect("warm refit requires a model");
                 // Rebuild on the full data with the previous hypers, then
@@ -715,6 +729,56 @@ mod tests {
             Engine::builder(&p).q(2).config(cfg).build().unwrap_err(),
             ConfigError::ZeroField { field: "cfg.acq.raw_samples" }
         );
+        // 6. Incremental updates with an every-cycle refit schedule:
+        //    there would be no hyperparameter-stable cycle to update on.
+        let mut cfg = AlgoConfig::test_profile();
+        cfg.incremental_updates = true;
+        cfg.full_fit_every = 1;
+        assert_eq!(
+            Engine::builder(&p).q(2).config(cfg).build().unwrap_err(),
+            ConfigError::IncrementalUpdatesNeedStableCycles
+        );
+    }
+
+    #[test]
+    fn incremental_updates_extend_the_surrogate_between_full_fits() {
+        let p = SyntheticFn::ackley(3);
+        let sink = Arc::new(Mutex::new(CollectingObserver::new()));
+        let mut cfg = AlgoConfig::test_profile();
+        cfg.incremental_updates = true;
+        cfg.full_fit_every = 2;
+        let budget = Budget::cycles(4, 2).with_initial_samples(8);
+        let mut e = Engine::builder(&p)
+            .budget(budget)
+            .config(cfg)
+            .seed(3)
+            .algorithm("test")
+            .observer(sink.clone())
+            .build()
+            .unwrap();
+        while e.should_continue() {
+            e.fit_model();
+            // The surrogate always covers the whole dataset, whether it
+            // was refit from scratch or extended in place.
+            assert_eq!(e.gp().n(), e.n_data());
+            let c = e.cycle_index() as f64;
+            let mut batch =
+                vec![vec![0.25, 0.3, 0.1 + 0.05 * c], vec![0.75, 0.2, 0.15 + 0.05 * c]];
+            e.sanitize_batch(&mut batch);
+            e.commit_batch(batch);
+        }
+        e.finish();
+        let events = std::mem::take(&mut sink.lock().unwrap().events);
+        let fits: Vec<(bool, bool)> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::FitCompleted { full, fallback, .. } => Some((*full, *fallback)),
+                _ => None,
+            })
+            .collect();
+        // Cycles 0/2 are full fits; 1/3 take the incremental fast path,
+        // and none of them hit the last-resort fallback surrogate.
+        assert_eq!(fits, vec![(true, false), (false, false), (true, false), (false, false)]);
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub enum ConfigError {
     /// Every initial-design point failed evaluation after retries; the
     /// run has no dataset to start from.
     EmptyDesign,
+    /// Incremental posterior updates were requested alongside a refit
+    /// schedule that re-fits hyperparameters every cycle, which leaves
+    /// no hyperparameter-stable cycle for the fast path to run on.
+    IncrementalUpdatesNeedStableCycles,
 }
 
 impl fmt::Display for ConfigError {
@@ -83,6 +87,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyDesign => {
                 write!(f, "every initial-design point failed after retries; cannot start a run")
+            }
+            ConfigError::IncrementalUpdatesNeedStableCycles => {
+                write!(
+                    f,
+                    "incremental_updates requires full_fit_every > 1; with a full refit every \
+                     cycle there are no hyperparameter-stable cycles to update through"
+                )
             }
         }
     }

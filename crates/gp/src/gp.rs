@@ -389,6 +389,93 @@ impl GaussianProcess {
         })
     }
 
+    /// Append real observations under **frozen hyperparameters and
+    /// frozen standardization**, in `O(n² q)` — the cycle-amortized fast
+    /// path the engine uses between full refits when incremental updates
+    /// are enabled.
+    ///
+    /// Unlike [`condition_on`](Self::condition_on) (which serves the
+    /// Kriging-Believer fantasy loop through the tolerance-level
+    /// [`Cholesky::extend`]), this path extends the factor through
+    /// [`Cholesky::extend_exact`]: the cached `n x n` Gram block inside
+    /// the factor is reused untouched, only the `n x q` cross block and
+    /// the `q x q` corner are evaluated, and the appended factor rows
+    /// reproduce the serial factorization kernel exactly. The result is
+    /// **bit-identical** to rebuilding the GP from scratch on the stacked
+    /// data with the same frozen standardization whenever `n + q ≤`
+    /// [`pbo_linalg::cholesky::BIT_EXACT_MAX_N`] (pinned by a test);
+    /// above that the from-scratch factor switches to the blocked
+    /// reassociated sweep and agreement is to summation-order ulps.
+    /// If the appended rows are not positive-definite at the frozen
+    /// jitter, the method falls back to that full rebuild internally
+    /// (which may escalate jitter), so it never fails on valid data and
+    /// never silently degrades the factor.
+    pub fn update(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<GaussianProcess> {
+        if xs.len() != ys.len() {
+            return Err(GpError::BadTrainingData("xs/ys length mismatch".into()));
+        }
+        if xs.is_empty() {
+            return Ok(self.clone());
+        }
+        for p in xs {
+            if p.len() != self.dim() {
+                return Err(GpError::BadTrainingData("new point dimension".into()));
+            }
+        }
+        if !ys.iter().all(|v| v.is_finite()) {
+            return Err(GpError::BadTrainingData("non-finite target".into()));
+        }
+        let q = xs.len();
+        let mut new_x = Matrix::zeros(q, self.dim());
+        for (i, p) in xs.iter().enumerate() {
+            new_x.row_mut(i).copy_from_slice(p);
+        }
+        // Only the new blocks of the extended K_y are evaluated; `eval`
+        // is symmetric bit-for-bit, so these entries match what a
+        // from-scratch `kernel.matrix` assembly would place in the
+        // appended rows.
+        let b = self.kernel.cross_matrix(&self.x, &new_x); // n x q
+        let mut c = self.kernel.matrix(&new_x); // q x q
+        c.add_diag(self.noise);
+
+        let mut x = self.x.clone();
+        for p in xs {
+            x.push_row(p).expect("dimension checked above");
+        }
+        let mut y_std = self.y_std.clone();
+        y_std.extend(ys.iter().map(|v| (v - self.shift) / self.scale));
+
+        match self.chol.extend_exact(&b, &c) {
+            Ok(chol) => {
+                let (trend, alpha) = profiled_trend_and_alpha(&chol, &y_std)?;
+                let lt = chol.transposed_factor();
+                Ok(GaussianProcess {
+                    kernel: self.kernel.clone(),
+                    noise: self.noise,
+                    x,
+                    y_std,
+                    shift: self.shift,
+                    scale: self.scale,
+                    trend,
+                    chol,
+                    lt,
+                    alpha,
+                })
+            }
+            // The appended rows failed at the frozen jitter: only a
+            // global refactorization (with its own jitter escalation)
+            // can represent the stacked system.
+            Err(_) => Self::from_standardized(
+                x,
+                y_std,
+                self.shift,
+                self.scale,
+                self.kernel.clone(),
+                self.noise,
+            ),
+        }
+    }
+
     /// The Cholesky factor of `K + σ_n² I` (standardized scale). The
     /// acquisition layer needs it for posterior gradients.
     pub fn chol(&self) -> &Cholesky {
@@ -510,6 +597,91 @@ mod tests {
             assert!((m1 - m2).abs() < 1e-7, "mean {m1} vs {m2}");
             assert!((v1 - v2).abs() < 1e-7, "var {v1} vs {v2}");
         }
+    }
+
+    #[test]
+    fn update_is_bit_identical_to_frozen_std_rebuild() {
+        // The incremental append path promises *bit* identity with a
+        // from-scratch rebuild (frozen standardization) below
+        // BIT_EXACT_MAX_N — the contract that lets the engine enable it
+        // without shifting seeded trajectories on hyperparameter-stable
+        // cycles.
+        let gp = toy_gp(1e-6);
+        let new_x = vec![vec![0.31], vec![0.74], vec![1.12]];
+        let new_y = vec![11.2, 9.4, 10.7];
+        let upd = gp.update(&new_x, &new_y).unwrap();
+
+        let mut x = gp.train_x().clone();
+        for p in &new_x {
+            x.push_row(p).unwrap();
+        }
+        let (shift, scale) = gp.standardization();
+        let mut y_std = gp.y_std.clone();
+        y_std.extend(new_y.iter().map(|v| (v - shift) / scale));
+        let rebuilt = GaussianProcess::from_standardized(
+            x,
+            y_std,
+            shift,
+            scale,
+            gp.kernel().clone(),
+            gp.noise(),
+        )
+        .unwrap();
+
+        assert_eq!(upd.n(), rebuilt.n());
+        assert_eq!(upd.chol().jitter(), rebuilt.chol().jitter());
+        assert_eq!(upd.chol().l(), rebuilt.chol().l());
+        assert_eq!(upd.trend_std().to_bits(), rebuilt.trend_std().to_bits());
+        for (i, (a, b)) in upd.weights().iter().zip(rebuilt.weights()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "alpha[{i}]");
+        }
+        for &p in &[0.05, 0.33, 0.6, 0.95, 1.4] {
+            let (m1, v1) = upd.predict(&[p]);
+            let (m2, v2) = rebuilt.predict(&[p]);
+            assert_eq!(m1.to_bits(), m2.to_bits(), "mean at {p}");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "var at {p}");
+        }
+    }
+
+    #[test]
+    fn update_empty_is_noop_and_bad_input_rejected() {
+        let gp = toy_gp(1e-6);
+        let same = gp.update(&[], &[]).unwrap();
+        assert_eq!(same.n(), gp.n());
+        assert!(gp.update(&[vec![0.1]], &[]).is_err());
+        assert!(gp.update(&[vec![0.1, 0.2]], &[1.0]).is_err());
+        assert!(gp.update(&[vec![0.1]], &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn update_on_duplicated_point_falls_back_gracefully() {
+        // Appending an exact duplicate of a training point makes the
+        // extended system singular at the frozen jitter (tiny noise);
+        // the update must still produce a usable GP via the internal
+        // full-rebuild fallback, bit-identical to that rebuild.
+        let gp = toy_gp(1e-12);
+        let dup = gp.train_x().row(4).to_vec();
+        let yv = gp.train_y_raw()[4];
+        let upd = gp.update(&[dup.clone()], &[yv]).unwrap();
+        assert_eq!(upd.n(), gp.n() + 1);
+        let (m, v) = upd.predict(&[0.4]);
+        assert!(m.is_finite() && v.is_finite());
+
+        let mut x = gp.train_x().clone();
+        x.push_row(&dup).unwrap();
+        let (shift, scale) = gp.standardization();
+        let mut y_std = gp.y_std.clone();
+        y_std.push((yv - shift) / scale);
+        let rebuilt = GaussianProcess::from_standardized(
+            x,
+            y_std,
+            shift,
+            scale,
+            gp.kernel().clone(),
+            gp.noise(),
+        )
+        .unwrap();
+        assert_eq!(upd.chol().l(), rebuilt.chol().l());
     }
 
     #[test]

@@ -74,6 +74,15 @@ pub struct FitWorkspace {
     rg: Vec<f64>,
     /// Ragged row offsets into `rg`: row `a` owns `rg[a(a−1)..a(a+1)]`.
     rg_offsets: Vec<usize>,
+    /// Copy of the design matrix the distance table was built from. When
+    /// the next [`prepare`](FitWorkspace::prepare) sees a design whose
+    /// leading rows equal this cache, only the new rows' pairs are
+    /// appended (`O(n q d)` instead of `O(n² d)`) — the engine's
+    /// append-only growth pattern across cycles. Any other change (a
+    /// subsampled fitting view, reordered rows, a different problem)
+    /// misses the check and triggers a full rebuild, so the cache can
+    /// never serve stale distances.
+    xcache: Matrix,
 }
 
 impl Default for FitWorkspace {
@@ -96,6 +105,7 @@ impl FitWorkspace {
             minv: Matrix::zeros(0, 0),
             rg: Vec::new(),
             rg_offsets: Vec::new(),
+            xcache: Matrix::zeros(0, 0),
         }
     }
 
@@ -109,19 +119,38 @@ impl FitWorkspace {
         self.d
     }
 
-    /// Recompute the packed squared-difference table for the rows of `x`
-    /// and (re)size the matrix buffers. O(n²d/2), once per fitting call —
+    /// (Re)compute the packed squared-difference table for the rows of
+    /// `x` and (re)size the matrix buffers — once per fitting call,
     /// amortized over every subsequent MLL evaluation.
+    ///
+    /// When `x` extends the previously prepared design by appended rows
+    /// (the engine's growth pattern between cycles, verified by an
+    /// `O(n d)` prefix comparison against the cached copy), only the new
+    /// rows' pairs are computed: `O(n q d)` instead of `O(n² d)`. The
+    /// appended entries evaluate the identical per-pair expression, so
+    /// the resulting table is bit-identical to a from-scratch rebuild
+    /// (covered by a test). Any prefix mismatch — subsampled fitting
+    /// views, reordered or edited rows — falls back to the full rebuild.
     pub fn prepare(&mut self, x: &Matrix) {
         let n = x.rows();
         let d = x.cols();
+        let n0 = self.n;
+        let pairs = n * n.saturating_sub(1) / 2;
+        let prefix_hit = d == self.d
+            && n0 > 0
+            && n >= n0
+            && self.xcache.rows() == n0
+            && self.xcache.cols() == d
+            && (0..n0).all(|i| x.row(i) == self.xcache.row(i));
+        let start = if prefix_hit { n0 } else { 0 };
         self.n = n;
         self.d = d;
-        let pairs = n * n.saturating_sub(1) / 2;
-        self.sqdiff.clear();
+        if !prefix_hit {
+            self.sqdiff.clear();
+        }
         self.sqdiff.resize(pairs * d, 0.0);
-        let mut p = 0;
-        for a in 0..n {
+        let mut p = start * start.saturating_sub(1) / 2 * d;
+        for a in start..n {
             let xa = x.row(a);
             for b in 0..a {
                 let xb = x.row(b);
@@ -132,6 +161,8 @@ impl FitWorkspace {
                 }
             }
         }
+        self.xcache.reset_zeros(n, d);
+        self.xcache.as_mut_slice().copy_from_slice(x.as_slice());
         self.rg_offsets.clear();
         self.rg_offsets.reserve(n + 1);
         for a in 0..=n {
@@ -482,6 +513,57 @@ mod tests {
             let v_ws =
                 mll_value_ws(KernelType::Matern52, &mut ws, &y_std, &params).unwrap();
             assert!((v_naive - v_ws).abs() <= 1e-10 * (1.0 + v_naive.abs()));
+        }
+    }
+
+    #[test]
+    fn incremental_prepare_is_bit_identical_to_full_rebuild() {
+        // Append-only growth must take the O(nqd) prefix path and still
+        // produce a distance table (and therefore MLL values) that are
+        // bit-identical to a from-scratch prepare.
+        let (x_full, y) = training_data(21, 3, 33);
+        let y_std = standardized(&y);
+        let params = vec![(0.4f64).ln(), (0.9f64).ln(), (1.1f64).ln(), 0.0, (1e-3f64).ln()];
+
+        let mut inc = FitWorkspace::new();
+        for n in [9usize, 13, 21] {
+            let view = Matrix::from_fn(n, 3, |i, j| x_full[(i, j)]);
+            inc.prepare(&view);
+        }
+        let mut fresh = FitWorkspace::new();
+        fresh.prepare(&x_full);
+        assert_eq!(inc.sqdiff.len(), fresh.sqdiff.len());
+        for (i, (a, b)) in inc.sqdiff.iter().zip(&fresh.sqdiff).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sqdiff[{i}]");
+        }
+        let v_inc = mll_value_ws(KernelType::Matern52, &mut inc, &y_std, &params).unwrap();
+        let v_fresh = mll_value_ws(KernelType::Matern52, &mut fresh, &y_std, &params).unwrap();
+        assert_eq!(v_inc.to_bits(), v_fresh.to_bits());
+    }
+
+    #[test]
+    fn prepare_prefix_mismatch_triggers_full_rebuild() {
+        // Editing a row inside the prefix (the subsample/reorder case)
+        // must invalidate the cache, not serve stale distances.
+        let (x1, _) = training_data(10, 2, 8);
+        let mut ws = FitWorkspace::new();
+        ws.prepare(&x1);
+        let mut x2 = x1.clone();
+        x2[(3, 1)] += 0.25;
+        ws.prepare(&x2);
+        let mut fresh = FitWorkspace::new();
+        fresh.prepare(&x2);
+        for (i, (a, b)) in ws.sqdiff.iter().zip(&fresh.sqdiff).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sqdiff[{i}]");
+        }
+        // Shrinking is also a miss.
+        let x3 = Matrix::from_fn(6, 2, |i, j| x2[(i, j)]);
+        ws.prepare(&x3);
+        let mut fresh3 = FitWorkspace::new();
+        fresh3.prepare(&x3);
+        assert_eq!(ws.sqdiff.len(), fresh3.sqdiff.len());
+        for (a, b) in ws.sqdiff.iter().zip(&fresh3.sqdiff) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -67,9 +67,18 @@ impl Cholesky {
         } else {
             a.diag().iter().map(|v| v.abs()).sum::<f64>() / n as f64
         };
+        // Above the bit-exactness boundary the reassociated-arithmetic
+        // policy applies, so the cache-blocked parallel sweep is allowed
+        // to replace the serial row kernel (see `try_factor_blocked_into`).
+        let blocked = n > BIT_EXACT_MAX_N;
         let mut jitter = 0.0;
         for attempt in 0..=JITTER_TRIES {
-            match Self::try_factor_into(a, jitter, &mut l) {
+            let res = if blocked {
+                Self::try_factor_blocked_into(a, jitter, &mut l)
+            } else {
+                Self::try_factor_into(a, jitter, &mut l)
+            };
+            match res {
                 Ok(()) => return Ok(Cholesky { l, jitter }),
                 Err(e) => {
                     if attempt == JITTER_TRIES {
@@ -115,9 +124,15 @@ impl Cholesky {
         }
         let mut l = if buf.rows() == n && buf.cols() == n { buf } else { Matrix::zeros(n, n) };
         let mean_diag = diag.abs();
+        let blocked = n > BIT_EXACT_MAX_N;
         let mut jitter = 0.0;
         for attempt in 0..=JITTER_TRIES {
-            match Self::try_factor_packed_into(packed, stride, diag, jitter, &mut l) {
+            let res = if blocked {
+                Self::try_factor_packed_blocked_into(packed, stride, diag, jitter, &mut l)
+            } else {
+                Self::try_factor_packed_into(packed, stride, diag, jitter, &mut l)
+            };
+            match res {
                 Ok(()) => return Ok(Cholesky { l, jitter }),
                 Err(e) => {
                     if attempt == JITTER_TRIES {
@@ -231,6 +246,123 @@ impl Cholesky {
             l.row_mut(i)[i + 1..].fill(0.0);
         }
         Ok(())
+    }
+
+    /// Blocked factorization attempt for systems past [`BIT_EXACT_MAX_N`]:
+    /// loads the lower triangle of `a` (plus `jitter` on the diagonal)
+    /// into `l` and runs the right-looking panel sweep of
+    /// [`blocked_factor_in_place`]. The per-entry arithmetic is a
+    /// reassociation of the serial row kernel (partial sums per panel
+    /// instead of one full-prefix dot), so results agree with
+    /// [`try_factor_into`](Self::try_factor_into) to summation-order ulps
+    /// — permitted above the bit-exactness boundary — while the trailing
+    /// updates fan out across threads.
+    fn try_factor_blocked_into(a: &Matrix, jitter: f64, l: &mut Matrix) -> Result<()> {
+        let n = a.rows();
+        debug_assert_eq!(l.rows(), n);
+        debug_assert_eq!(l.cols(), n);
+        for i in 0..n {
+            let row = l.row_mut(i);
+            row[..=i].copy_from_slice(&a.row(i)[..=i]);
+            row[i] += jitter;
+            row[i + 1..].fill(0.0);
+        }
+        blocked_factor_in_place(l)
+    }
+
+    /// Packed-input companion of
+    /// [`try_factor_blocked_into`](Self::try_factor_blocked_into):
+    /// materialises the strided pair-major lower triangle plus uniform
+    /// diagonal into `l`, then runs the same in-place blocked sweep — so
+    /// the packed and dense paths stay bit-identical to each other above
+    /// [`BIT_EXACT_MAX_N`] exactly as they are below it.
+    fn try_factor_packed_blocked_into(
+        packed: &[f64],
+        stride: usize,
+        diag: f64,
+        jitter: f64,
+        l: &mut Matrix,
+    ) -> Result<()> {
+        let n = l.rows();
+        for i in 0..n {
+            let base = i * i.saturating_sub(1) / 2 * stride;
+            let row = l.row_mut(i);
+            for (j, v) in row[..i].iter_mut().enumerate() {
+                *v = packed[base + j * stride];
+            }
+            row[i] = diag + jitter;
+            row[i + 1..].fill(0.0);
+        }
+        blocked_factor_in_place(l)
+    }
+
+    /// Append `q` rows to the factorization **without touching the first
+    /// `n` rows**, reproducing the serial row kernel of
+    /// [`try_factor_into`](Self::try_factor_into) exactly.
+    ///
+    /// The blocks extend `A` to `[[A, B], [Bᵀ, C]]` with `B` of shape
+    /// `n x q` and `C` of shape `q x q` (`C` must already carry any noise
+    /// term on its diagonal). Row-by-row factorization computes row `i`
+    /// from rows `< i` only, so the first `n` rows of the from-scratch
+    /// factor of the extended matrix are the rows of `self` — this method
+    /// just runs the same kernel over rows `n..n+q` in `O(n²q)`.
+    ///
+    /// **Bit-compat contract:** whenever a from-scratch
+    /// [`factor`](Self::factor) of the extended matrix settles on the
+    /// same jitter as `self`, the result here is bit-identical to it
+    /// (pinned by a property test). Kernel-type matrices with a uniform
+    /// diagonal escalate jitter through the identical sequence (the mean
+    /// diagonal is diagonal-value-invariant to `n`), so for those inputs
+    /// the contract covers every case in which this method succeeds. The
+    /// one divergence — the appended rows fail at `self`'s jitter, where
+    /// a from-scratch factor would escalate further and perturb the first
+    /// `n` rows — returns an error instead, and callers fall back to a
+    /// full refactorization.
+    ///
+    /// Unlike [`extend`](Self::extend) (which serves the fantasy loop and
+    /// trades bit-identity for local jitter escalation), no jitter is
+    /// added beyond `self.jitter`.
+    pub fn extend_exact(&self, b: &Matrix, c: &Matrix) -> Result<Cholesky> {
+        let n = self.n();
+        let q = c.rows();
+        if b.rows() != n || b.cols() != q || !c.is_square() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "extend_exact: base order {n}, B {}x{}, C {}x{}",
+                b.rows(),
+                b.cols(),
+                c.rows(),
+                c.cols()
+            )));
+        }
+        if !b.all_finite() || !c.all_finite() {
+            return Err(LinalgError::NonFinite("extend_exact input"));
+        }
+        let m = n + q;
+        let jitter = self.jitter;
+        let mut l = Matrix::zeros(m, m);
+        for i in 0..n {
+            l.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        for ii in 0..q {
+            let i = n + ii;
+            for j in 0..=i {
+                // Same dot-product (ijk) elimination as `try_factor_into`,
+                // sourcing the matrix entry from the B/C blocks.
+                let s = if j == 0 { 0.0 } else { dot(&l.row(i)[..j], &l.row(j)[..j]) };
+                let aij = if j < n { b[(j, ii)] } else { c[(ii, j - n)] };
+                if i == j {
+                    let pivot = aij + jitter - s;
+                    if pivot <= 0.0 || !pivot.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot });
+                    }
+                    l[(i, j)] = pivot.sqrt();
+                } else {
+                    l[(i, j)] = (aij - s) / l[(j, j)];
+                }
+            }
+            l.row_mut(i)[i + 1..].fill(0.0);
+        }
+        Ok(Cholesky { l, jitter })
     }
 
     /// Consume the factorization, returning the `L` storage for reuse by
@@ -556,6 +688,137 @@ impl Cholesky {
 /// summation-order ulps instead.
 pub const BIT_EXACT_MAX_N: usize = 128;
 
+/// Panel width of the blocked right-looking factorization. A 64-wide
+/// panel keeps the `64 x 64` diagonal block (32 KiB) and a panel-column
+/// stripe resident in L1/L2 while the trailing update streams the rest
+/// of the matrix once per sweep.
+const CHOL_PANEL: usize = 64;
+
+/// Cache-blocked right-looking Cholesky sweep, in place.
+///
+/// On entry `l` holds the lower triangle of the (jittered) input with a
+/// zeroed strict upper triangle; on exit it holds the factor. Each sweep
+/// factors a `CHOL_PANEL`-wide diagonal panel serially, then applies the
+/// panel to the rows below it — a TRSM pass and a SYRK trailing update —
+/// fanned out over [`parallel::par_map_workers`] in dynamically scheduled
+/// row bands.
+///
+/// **Determinism:** every row's arithmetic is a fixed sequence — the
+/// panel order is serial, and within a band each row is eliminated with
+/// the same dots in the same order — and band boundaries only decide
+/// *which worker* computes a row, never *what* it computes. The SYRK
+/// reads panel columns from a snapshot copied into `scratch` before the
+/// fan-out, so no worker observes another worker's writes. Results are
+/// therefore bit-identical for any thread count (pinned by the
+/// determinism suite), while still reassociated relative to the serial
+/// row kernel (partial per-panel sums), which is why this path only
+/// engages past [`BIT_EXACT_MAX_N`].
+fn blocked_factor_in_place(l: &mut Matrix) -> Result<()> {
+    let n = l.rows();
+    let mut scratch: Vec<f64> = Vec::new();
+    let mut k = 0;
+    while k < n {
+        let kb = CHOL_PANEL.min(n - k);
+        // Panel: factor the kb x kb diagonal block over columns k.. (the
+        // contributions of columns < k were subtracted by prior sweeps).
+        {
+            let data = l.as_mut_slice();
+            for i in k..k + kb {
+                for j in k..=i {
+                    let s = if j == k {
+                        0.0
+                    } else {
+                        dot(&data[i * n + k..i * n + j], &data[j * n + k..j * n + j])
+                    };
+                    if i == j {
+                        let pivot = data[i * n + i] - s;
+                        if pivot <= 0.0 || !pivot.is_finite() {
+                            return Err(LinalgError::NotPositiveDefinite { pivot });
+                        }
+                        data[i * n + i] = pivot.sqrt();
+                    } else {
+                        data[i * n + j] = (data[i * n + j] - s) / data[j * n + j];
+                    }
+                }
+            }
+        }
+        let below = n - k - kb;
+        if below == 0 {
+            break;
+        }
+        let (head, tail) = l.as_mut_slice().split_at_mut((k + kb) * n);
+        let panel: &[f64] = head;
+        // TRSM: finalize columns k..k+kb of every row below the panel.
+        let trsm_flops = below * kb * (kb + 2);
+        par_row_bands(tail, n, trsm_flops, |_, row| {
+            for j in k..k + kb {
+                let pj = &panel[j * n + k..j * n + j];
+                let s = if j == k { 0.0 } else { dot(&row[k..j], pj) };
+                row[j] = (row[j] - s) / panel[j * n + j];
+            }
+        });
+        // Snapshot the freshly solved panel columns so the trailing
+        // update reads immutable data while rows are mutated in parallel.
+        scratch.clear();
+        scratch.reserve(below * kb);
+        for r in 0..below {
+            scratch.extend_from_slice(&tail[r * n + k..r * n + k + kb]);
+        }
+        let snap: &[f64] = &scratch;
+        // SYRK: subtract the panel's contribution from the trailing
+        // lower triangle, one full dot per touched entry.
+        let syrk_flops = below * below * kb;
+        par_row_bands(tail, n, syrk_flops, |r, row| {
+            let sr = &snap[r * kb..(r + 1) * kb];
+            for c in 0..=r {
+                row[k + kb + c] -= dot(sr, &snap[c * kb..(c + 1) * kb]);
+            }
+        });
+        k += kb;
+    }
+    Ok(())
+}
+
+/// Fan `f(row_index, row)` out over the fixed-width rows of `out` in
+/// dynamically scheduled contiguous bands (several per worker, so the
+/// triangular cost gradient of the SYRK balances), via
+/// [`parallel::par_map_workers`]. Sequential when the work is below the
+/// crate's parallel threshold or only one thread is available; the
+/// per-row results are identical either way.
+fn par_row_bands<F>(out: &mut [f64], width: usize, flops: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if width == 0 || out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % width, 0);
+    let rows = out.len() / width;
+    let workers = parallel::num_threads().min(rows);
+    if workers <= 1 || flops < parallel::PAR_THRESHOLD {
+        for (r, row) in out.chunks_mut(width).enumerate() {
+            f(r, row);
+        }
+        return;
+    }
+    let bands = (workers * 4).min(rows);
+    let rows_per = rows.div_ceil(bands);
+    // Hand each band its disjoint `&mut` block through a mutex taken
+    // exactly once, so the work-stealing map stays safe without copies.
+    let slots: Vec<std::sync::Mutex<(usize, &mut [f64])>> = out
+        .chunks_mut(rows_per * width)
+        .enumerate()
+        .map(|(bi, block)| std::sync::Mutex::new((bi * rows_per, block)))
+        .collect();
+    parallel::par_map_workers(slots.len(), workers, |bi| {
+        let mut guard = slots[bi].lock().expect("band slot poisoned");
+        let (base, block) = &mut *guard;
+        for (i, row) in block.chunks_mut(width).enumerate() {
+            f(*base + i, row);
+        }
+    });
+}
+
 /// Solve `L^T x = y` in place given the row-major *transpose* of the
 /// factor (from [`Cholesky::transposed_factor`]).
 ///
@@ -879,6 +1142,170 @@ mod tests {
         let tr: f64 = (0..11).map(|i| inv[(i, i)]).sum();
         let fro2 = dot(m.as_slice(), m.as_slice());
         assert!((tr - fro2).abs() < 1e-9 * (1.0 + tr.abs()));
+    }
+
+    /// RBF-style kernel matrix over 1-D points: unit uniform diagonal,
+    /// singular when points are duplicated — the fixture for exercising
+    /// the jitter escalation with a kernel-shaped (uniform-diagonal)
+    /// matrix.
+    fn kernelish(points: &[f64]) -> Matrix {
+        let n = points.len();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                let d = points[i] - points[j];
+                (-0.5 * d * d).exp()
+            }
+        })
+    }
+
+    /// Deterministic SPD matrix with a kernel-style *uniform* diagonal,
+    /// the shape for which `extend_exact`'s bit-compat contract covers
+    /// the jitter-escalation path too.
+    fn spd_uniform_diag(n: usize, seed: u64, diag: f64) -> Matrix {
+        let mut a = spd(n, seed);
+        for i in 0..n {
+            a[(i, i)] = diag;
+        }
+        a
+    }
+
+    #[test]
+    fn extend_exact_matches_from_scratch_bitwise() {
+        // Property over sizes straddling nothing special (all ≤
+        // BIT_EXACT_MAX_N, where from-scratch uses the same serial row
+        // kernel): appending rows must reproduce the full factor bit for
+        // bit, including the jitter field.
+        for (n, q, seed) in [(1, 1, 3), (5, 2, 7), (9, 3, 21), (24, 8, 11), (60, 16, 5)] {
+            let full = spd_uniform_diag(n + q, seed, 2.0 * (n + q) as f64);
+            let a = Matrix::from_fn(n, n, |i, j| full[(i, j)]);
+            let b = Matrix::from_fn(n, q, |i, j| full[(i, n + j)]);
+            let c = Matrix::from_fn(q, q, |i, j| full[(n + i, n + j)]);
+            let base = Cholesky::factor(&a).unwrap();
+            let ext = base.extend_exact(&b, &c).unwrap();
+            let direct = Cholesky::factor(&full).unwrap();
+            assert_eq!(ext.jitter(), direct.jitter(), "n={n} q={q}");
+            for i in 0..n + q {
+                for j in 0..n + q {
+                    assert!(
+                        ext.l()[(i, j)].to_bits() == direct.l()[(i, j)].to_bits(),
+                        "n={n} q={q} ({i},{j}): {} vs {}",
+                        ext.l()[(i, j)],
+                        direct.l()[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_exact_bit_identity_survives_jitter_escalation() {
+        // Duplicated training points make a kernel matrix singular and
+        // force the base factorization onto a positive jitter; the
+        // uniform diagonal keeps the escalation sequence of the stacked
+        // matrix identical, so the contract must still hold.
+        let n = 6;
+        let q = 2;
+        let pts = [0.0, 0.0, 0.3, 0.9, 1.4, 2.2, 2.9, 3.5];
+        let full = kernelish(&pts);
+        let a = Matrix::from_fn(n, n, |i, j| full[(i, j)]);
+        let b = Matrix::from_fn(n, q, |i, j| full[(i, n + j)]);
+        let c = Matrix::from_fn(q, q, |i, j| full[(n + i, n + j)]);
+        let base = Cholesky::factor(&a).unwrap();
+        assert!(base.jitter() > 0.0, "fixture must exercise the jitter path");
+        let ext = base.extend_exact(&b, &c).unwrap();
+        let direct = Cholesky::factor(&full).unwrap();
+        assert_eq!(ext.jitter(), direct.jitter());
+        assert_eq!(ext.l(), direct.l());
+    }
+
+    #[test]
+    fn extend_exact_rejects_rather_than_perturbing_the_base() {
+        let a = spd(5, 13);
+        let base = Cholesky::factor(&a).unwrap();
+        // Shape mismatches are typed errors.
+        assert!(base.extend_exact(&Matrix::zeros(4, 1), &Matrix::zeros(1, 1)).is_err());
+        assert!(base.extend_exact(&Matrix::zeros(5, 2), &Matrix::zeros(1, 1)).is_err());
+        // An appended block that is not PD at the base's jitter must
+        // error (the caller then falls back to a full refactorization,
+        // which may escalate jitter globally) — never silently succeed.
+        let mut c = Matrix::zeros(1, 1);
+        c[(0, 0)] = -3.0;
+        assert!(matches!(
+            base.extend_exact(&Matrix::zeros(5, 1), &c),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_exact_zero_q_is_identity_op() {
+        let a = spd(5, 2);
+        let base = Cholesky::factor(&a).unwrap();
+        let ext = base.extend_exact(&Matrix::zeros(5, 0), &Matrix::zeros(0, 0)).unwrap();
+        assert_eq!(ext.l(), base.l());
+        assert_eq!(ext.jitter(), base.jitter());
+    }
+
+    #[test]
+    fn blocked_factor_above_threshold_matches_serial_reference() {
+        // Past BIT_EXACT_MAX_N the public path runs the blocked sweep;
+        // it must agree with the serial row kernel to reassociation ulps
+        // and reconstruct the input.
+        for n in [129, 200, 313] {
+            let a = spd(n, 100 + n as u64);
+            let ch = Cholesky::factor(&a).unwrap();
+            assert_eq!(ch.jitter(), 0.0, "n={n}");
+            let mut serial = Matrix::zeros(n, n);
+            Cholesky::try_factor_into(&a, 0.0, &mut serial).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    let (u, v) = (ch.l()[(i, j)], serial[(i, j)]);
+                    assert!(
+                        (u - v).abs() <= 1e-11 * (1.0 + u.abs().max(v.abs())),
+                        "n={n} ({i},{j}): {u} vs {v}"
+                    );
+                }
+            }
+            let back = ch.reconstruct();
+            assert!(back.sub(&a).unwrap().norm_max() < 1e-9 * a.norm_max(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn blocked_packed_factor_matches_dense_bitwise() {
+        // The packed and dense entry points must stay bit-identical to
+        // each other above the threshold (both feed the same in-place
+        // blocked sweep after materialization).
+        let n = 160;
+        let diag = 2.0 * n as f64;
+        let a = spd_uniform_diag(n, 77, diag);
+        let dense = Cholesky::factor(&a).unwrap();
+        for stride in [1usize, 2] {
+            let mut packed = vec![9.25; n * (n - 1) / 2 * stride];
+            for i in 0..n {
+                for j in 0..i {
+                    packed[(i * (i - 1) / 2 + j) * stride] = a[(i, j)];
+                }
+            }
+            let ch = Cholesky::factor_packed_reusing(&packed, stride, diag, n, Matrix::zeros(0, 0))
+                .unwrap();
+            assert_eq!(ch.jitter(), dense.jitter());
+            assert_eq!(ch.l(), dense.l(), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn blocked_factor_jitter_rescue_still_works() {
+        // Duplicate two points of a large kernel system: the blocked
+        // path must escalate jitter like the serial one does and recover.
+        let n = 140;
+        let mut pts: Vec<f64> = (0..n).map(|i| i as f64 * 0.05).collect();
+        pts[1] = pts[0];
+        let a = kernelish(&pts);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(ch.jitter() > 0.0);
+        assert!(ch.log_det().is_finite());
     }
 
     #[test]

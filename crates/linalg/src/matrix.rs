@@ -11,7 +11,7 @@ use std::ops::{Index, IndexMut};
 /// of every hot kernel in this workspace (kernel-matrix assembly walks
 /// rows of the design matrix; the Cholesky dot-product form walks rows of
 /// `L`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -11,7 +11,9 @@ use std::sync::OnceLock;
 
 /// Work (in flop-ish units) below which spawning threads costs more than
 /// it saves. Tuned conservatively; correctness does not depend on it.
-const PAR_THRESHOLD: usize = 1 << 21;
+/// Crate-visible so other fan-out sites (the blocked Cholesky sweeps)
+/// gate on the same threshold.
+pub(crate) const PAR_THRESHOLD: usize = 1 << 21;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 

@@ -1,0 +1,111 @@
+#!/bin/bash
+# Performance regression gate over the criterion-shim benches.
+#
+#   scripts/bench_gate.sh baseline   # record target/bench_gate/baseline.jsonl
+#   scripts/bench_gate.sh check      # re-run quick profile, fail on >15% regression
+#   scripts/bench_gate.sh smoke      # one bench run + self-check of the gate machinery
+#
+# The gate pins a handful of headline cases (below) and compares their
+# per-iteration minimum against the recorded baseline. `min_ns` is used
+# rather than the mean because it is the statistic least sensitive to
+# scheduler noise on a loaded host. All runs use the quick
+# PBO_BENCH_SMOKE profile: the point is catching order-of-magnitude
+# rot (an accidentally serialized hot path, a lost cache), not
+# micro-benchmarking — real measurements live in BENCH_*.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-check}"
+GATE_DIR="target/bench_gate"
+BASELINE="${BENCH_GATE_BASELINE:-$GATE_DIR/baseline.jsonl}"
+TOL_PCT="${BENCH_GATE_TOL_PCT:-15}"
+
+# Headline cases; all must exist under the PBO_BENCH_SMOKE truncation.
+PINNED=(
+  "fit_scaling/mll_grad_workspace/64"
+  "fit_scaling/fit_workspace/64"
+  "fit_scaling/gp_update/256q8"
+  "fit_scaling/chol_blocked/512"
+)
+
+run_benches() { # out-file
+  local out="$1"
+  mkdir -p "$(dirname "$out")"
+  rm -f "$out"
+  # The bench binary runs with the *package* directory as its CWD, so
+  # the shim output path must be absolute.
+  local out_abs
+  out_abs="$(cd "$(dirname "$out")" && pwd)/$(basename "$out")"
+  PBO_BENCH_SMOKE=1 CRITERION_SHIM_OUT="$out_abs" \
+    cargo bench -q -p pbo-bench --bench fit_scaling >/dev/null
+}
+
+min_ns() { # file id -> prints min_ns or nothing
+  grep -F "\"id\":\"$2\"" "$1" | tail -1 |
+    sed -E 's/.*"min_ns":([0-9.eE+-]+).*/\1/'
+}
+
+require_pinned() { # file
+  local missing=0
+  for id in "${PINNED[@]}"; do
+    if [[ -z "$(min_ns "$1" "$id")" ]]; then
+      echo "bench_gate: pinned case '$id' missing from $1" >&2
+      missing=1
+    fi
+  done
+  return "$missing"
+}
+
+compare() { # baseline-file current-file
+  local fail=0
+  for id in "${PINNED[@]}"; do
+    local base cur
+    base="$(min_ns "$1" "$id")"
+    cur="$(min_ns "$2" "$id")"
+    if [[ -z "$base" || -z "$cur" ]]; then
+      echo "bench_gate: '$id' missing (baseline='$base' current='$cur')" >&2
+      fail=1
+      continue
+    fi
+    if awk -v b="$base" -v c="$cur" -v tol="$TOL_PCT" \
+        'BEGIN { exit !(c <= b * (1 + tol / 100)) }'; then
+      printf 'bench_gate: OK   %-40s %12.0f -> %12.0f ns\n' "$id" "$base" "$cur"
+    else
+      printf 'bench_gate: FAIL %-40s %12.0f -> %12.0f ns (>%s%% slower)\n' \
+        "$id" "$base" "$cur" "$TOL_PCT" >&2
+      fail=1
+    fi
+  done
+  return "$fail"
+}
+
+case "$MODE" in
+  baseline)
+    run_benches "$BASELINE"
+    require_pinned "$BASELINE"
+    echo "bench_gate: baseline recorded at $BASELINE"
+    ;;
+  check)
+    if [[ ! -f "$BASELINE" ]]; then
+      echo "bench_gate: no baseline at $BASELINE — run 'scripts/bench_gate.sh baseline' first" >&2
+      exit 1
+    fi
+    current="$GATE_DIR/current.jsonl"
+    run_benches "$current"
+    compare "$BASELINE" "$current"
+    echo "bench_gate: no pinned case regressed by more than ${TOL_PCT}%."
+    ;;
+  smoke)
+    # One bench run exercises capture; self-comparison exercises the
+    # parse/compare plumbing without back-to-back-run flakiness.
+    smoke_out="$GATE_DIR/smoke.jsonl"
+    run_benches "$smoke_out"
+    require_pinned "$smoke_out"
+    compare "$smoke_out" "$smoke_out"
+    echo "bench_gate: smoke passed."
+    ;;
+  *)
+    echo "usage: scripts/bench_gate.sh [baseline|check|smoke]" >&2
+    exit 2
+    ;;
+esac

@@ -20,6 +20,9 @@ fi
 echo "== cargo test -q (workspace, warnings are errors) =="
 cargo test -q
 
+echo "== cargo clippy (workspace, -D warnings -W clippy::perf) =="
+cargo clippy --workspace -- -D warnings -W clippy::perf
+
 # The acquisition multistart is parallel but must be bit-identical for
 # any compute-thread count; replay the determinism suite under two
 # global thread settings (PBO_NUM_THREADS is the env-level override of
@@ -34,7 +37,11 @@ if [[ "${1:-}" != "--quick" ]]; then
   # full measurement run.
   echo "== bench smoke (PBO_BENCH_SMOKE=1) =="
   PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench acquisition_scaling
-  PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench fit_scaling
+
+  # fit_scaling runs inside the regression gate's smoke mode, which
+  # also validates the baseline-capture/compare plumbing.
+  echo "== bench_gate smoke =="
+  scripts/bench_gate.sh smoke
 
   # Trace smoke: run a seeded traced optimization, validate that every
   # JSONL line parses and that the event stream reconciles with the run

@@ -35,14 +35,16 @@ case "${1:-}" in
     out=results/bench_acq.jsonl
     : > "$out"
     echo "== acquisition_scaling bench -> $out =="
-    CRITERION_SHIM_OUT="$out" cargo bench -q -p pbo-bench --bench acquisition_scaling
+    # Absolute path: the bench binary's CWD is the *package* dir, so a
+    # relative CRITERION_SHIM_OUT would be dropped silently.
+    CRITERION_SHIM_OUT="$PWD/$out" cargo bench -q -p pbo-bench --bench acquisition_scaling
     echo "done; compare against BENCH_acq.json"
     ;;
   --bench-fit)
     out=results/bench_fit.jsonl
     : > "$out"
     echo "== fit_scaling bench -> $out =="
-    CRITERION_SHIM_OUT="$out" cargo bench -q -p pbo-bench --bench fit_scaling
+    CRITERION_SHIM_OUT="$PWD/$out" cargo bench -q -p pbo-bench --bench fit_scaling
     echo "done; compare against BENCH_fit.json"
     ;;
   *)

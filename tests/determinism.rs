@@ -189,6 +189,112 @@ fn same_seed_same_trace_regardless_of_thread_count_faulty() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Incremental-update and blocked-factorization determinism: the
+// `incremental_updates` fast path extends the cached Cholesky factor
+// instead of refactoring, and factorizations past `BIT_EXACT_MAX_N`
+// take the cache-blocked parallel path. Both must preserve the same
+// contract as everything above — bit-identical traces for any worker
+// or compute-thread count, and (below the bit-exact cap) bit-identical
+// factors vs the from-scratch row kernel.
+// ---------------------------------------------------------------------
+
+/// Test config with the incremental-update fast path on: full fits on
+/// even cycles, factor extensions on odd ones, so a 4-cycle run
+/// exercises both.
+fn cfg_incremental(workers: usize) -> AlgoConfig {
+    AlgoConfig {
+        full_fit_every: 2,
+        incremental_updates: true,
+        ft: FtPolicy { eval_workers: Some(workers), ..FtPolicy::default() },
+        ..AlgoConfig::test_profile()
+    }
+}
+
+fn run_incremental(algo: AlgorithmKind, seed: u64, workers: usize) -> RunRecord {
+    let p = SyntheticFn::ackley(4);
+    let budget = Budget::cycles(4, 2).with_initial_samples(10);
+    run_algorithm_with(algo, &p, &budget, cfg_incremental(workers), seed)
+}
+
+#[test]
+fn incremental_update_runs_are_bit_identical_across_worker_counts() {
+    for algo in [AlgorithmKind::KbQEgo, AlgorithmKind::McQEgo] {
+        let base = fingerprint(&run_incremental(algo, 21, 1));
+        for workers in [3, 6] {
+            let other = fingerprint(&run_incremental(algo, 21, workers));
+            assert_eq!(
+                base, other,
+                "{algo:?}: incremental 1-worker vs {workers}-worker traces diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_update_runs_are_bit_identical_across_thread_counts() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    for algo in [AlgorithmKind::MicQEgo, AlgorithmKind::Turbo] {
+        let base = at_threads(1, || fingerprint(&run_incremental(algo, 63, 2)));
+        for threads in [2, 6] {
+            let other = at_threads(threads, || fingerprint(&run_incremental(algo, 63, 2)));
+            assert_eq!(
+                base, other,
+                "{algo:?}: incremental 1-thread vs {threads}-thread traces diverged"
+            );
+        }
+    }
+}
+
+/// RBF-style Gram matrix over a deterministic 1-D point cloud: uniform
+/// unit diagonal, strictly positive definite for distinct points.
+fn gram(n: usize) -> pbo::linalg::Matrix {
+    let pts: Vec<f64> =
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + i as f64 * 0.01).collect();
+    pbo::linalg::Matrix::from_fn(n, n, |i, j| {
+        let d = pts[i] - pts[j];
+        (-0.5 * d * d).exp() + if i == j { 1e-8 } else { 0.0 }
+    })
+}
+
+#[test]
+fn blocked_factorization_is_bit_identical_for_any_thread_count() {
+    use pbo::linalg::Cholesky;
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    // Well past BIT_EXACT_MAX_N = 128, so the cache-blocked parallel
+    // path is engaged; its row bands must partition scheduling only,
+    // never values.
+    let a = gram(300);
+    let base = at_threads(1, || Cholesky::factor(&a).unwrap());
+    for threads in [2, 3, 6] {
+        let other = at_threads(threads, || Cholesky::factor(&a).unwrap());
+        assert_eq!(base.jitter().to_bits(), other.jitter().to_bits());
+        for (x, y) in base.l().as_slice().iter().zip(other.l().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{threads}-thread factor diverged");
+        }
+    }
+}
+
+#[test]
+fn factor_extension_matches_from_scratch_below_bit_exact_max_n() {
+    use pbo::linalg::{Cholesky, Matrix};
+    // n + q = 96 ≤ BIT_EXACT_MAX_N: the extension appends rows with the
+    // same serial row kernel, so the factor must match from-scratch
+    // bit for bit.
+    let (n, q) = (90usize, 6usize);
+    let full = gram(n + q);
+    let head = Matrix::from_fn(n, n, |i, j| full[(i, j)]);
+    let b = Matrix::from_fn(n, q, |i, j| full[(i, n + j)]);
+    let c = Matrix::from_fn(q, q, |i, j| full[(n + i, n + j)]);
+    let base = Cholesky::factor(&head).unwrap();
+    let ext = base.extend_exact(&b, &c).unwrap();
+    let direct = Cholesky::factor(&full).unwrap();
+    assert_eq!(ext.jitter().to_bits(), direct.jitter().to_bits());
+    for (x, y) in ext.l().as_slice().iter().zip(direct.l().as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
 #[test]
 fn faulty_run_ends_with_finite_incumbent_and_clean_dataset() {
     silence_injected_panics();
