@@ -35,6 +35,7 @@ use crate::grid::{run_seed, ProblemSpec};
 use crate::profiles::Profile;
 use pbo_core::algorithms::{run_algorithm_observed, run_algorithm_with, AlgorithmKind};
 use pbo_core::budget::{Budget, Stopping};
+use pbo_core::checkpoint::fnv1a64;
 use pbo_core::json::{self, push_str_literal};
 use pbo_core::observe::jsonl::JsonlTraceWriter;
 use pbo_core::observe::metrics::MetricsRegistry;
@@ -152,16 +153,6 @@ impl RunTask {
     }
 }
 
-/// FNV-1a 64-bit hash (content addressing only; not cryptographic).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
 /// How the orchestrator schedules and persists a grid.
 #[derive(Debug, Clone)]
 pub struct OrchestratorConfig {
@@ -224,10 +215,8 @@ pub fn write_checkpoint(
     body.push_str(&record.to_json_line());
     body.push('\n');
 
-    let tmp = path.with_extension("json.tmp");
-    let context = |what: &str, e: std::io::Error| format!("{what} {}: {e}", path.display());
-    std::fs::write(&tmp, body).map_err(|e| context("cannot write checkpoint", e))?;
-    std::fs::rename(&tmp, path).map_err(|e| context("cannot commit checkpoint", e))
+    pbo_core::checkpoint::atomic_write(path, &body)
+        .map_err(|e| format!("checkpoint: {e}"))
 }
 
 /// Read and validate one checkpoint. Any structural problem — missing

@@ -11,62 +11,14 @@
 //! [`crate::clock::VirtualClock::charge_parallel`] — the parallel
 //! acquisition is the method's scalability advantage (Fig. 2, Fig. 9a).
 
-use super::acq_multistart;
 use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
-use crate::partition::BspTree;
 use crate::record::RunRecord;
-use pbo_acq::single::{optimize_single, ExpectedImprovement};
 use pbo_problems::Problem;
 
 /// Drive a prepared engine with BSP-EGO to budget exhaustion.
-pub fn drive(mut e: Engine) -> RunRecord {
-    let q = e.q();
-    let n_cells = (e.cfg().acq.bsp_cells_factor * q).max(2);
-    let mut tree = BspTree::new(e.unit_bounds(), n_cells);
-
-    while e.should_continue() {
-        e.fit_model();
-        let cfg = e.cfg().clone();
-        let acq_seed = e.seeds().fork(0xACC).next_seed();
-        let gp = e.gp().clone();
-        let f_best = gp.best_observed(false);
-        let leaves = tree.leaves();
-        let cells: Vec<pbo_opt::Bounds> =
-            leaves.iter().map(|&l| tree.bounds_of(l).clone()).collect();
-
-        // One local EI maximization per cell, run concurrently; the
-        // clock models q workers sharing the 2q sub-problems. The
-        // multistart inside each cell is itself parallel-capable, but
-        // workers spawned here are marked as inside a parallel region
-        // (`pbo_linalg::parallel`), so the nested fan-out degrades to
-        // the serial schedule instead of oversubscribing — and stays
-        // bit-identical to it by construction.
-        let results: Vec<(Vec<f64>, f64, usize)> = e.charge_acquisition(q, || {
-            let per_cell = pbo_linalg::parallel::par_map(cells.len(), 1, |k| {
-                let ei = ExpectedImprovement { f_best };
-                let ms = acq_multistart(&cfg, acq_seed.wrapping_add(k as u64));
-                let r = optimize_single(&gp, &ei, &cells[k], &[], &ms);
-                (r.x, r.value, r.restart_shortfall)
-            });
-            let shortfall = per_cell.iter().map(|(_, _, s)| *s).sum();
-            (per_cell, shortfall)
-        });
-
-        // Per-leaf scores drive the partition evolution.
-        let scores: Vec<f64> = results.iter().map(|(_, v, _)| *v).collect();
-
-        // Top-q candidates by EI across all cells.
-        let mut order: Vec<usize> = (0..results.len()).collect();
-        order.sort_by(|&a, &b| results[b].1.total_cmp(&results[a].1));
-        let mut batch: Vec<Vec<f64>> =
-            order.iter().take(q).map(|&k| results[k].0.clone()).collect();
-
-        tree.evolve(&leaves, &scores);
-        e.sanitize_batch(&mut batch);
-        e.commit_batch(batch);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::BspEgo, e)
 }
 
 /// Run BSP-EGO to budget exhaustion.

@@ -7,43 +7,14 @@
 //! is what makes this method expensive at large q — the paper's Fig. 2
 //! shows its evaluation count collapsing fastest.
 
-use super::{acq_multistart, qei_multistart};
 use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
-use pbo_acq::mc::{optimize_qei, QExpectedImprovement};
-use pbo_acq::single::{optimize_single, ExpectedImprovement};
 use pbo_problems::Problem;
 
 /// Drive a prepared engine with MC-based q-EGO to budget exhaustion.
-pub fn drive(mut e: Engine) -> RunRecord {
-    while e.should_continue() {
-        e.fit_model();
-        let q = e.q();
-        let bounds = e.unit_bounds();
-        let cfg = e.cfg().clone();
-        let acq_seed = e.seeds().fork(0xACC).next_seed();
-        let gp = e.gp().clone();
-        let f_best = gp.best_observed(false);
-        let mut batch = e.charge_acquisition(1, || {
-            if q == 1 {
-                // Table 3: all methods use plain EI at q = 1.
-                let ei = ExpectedImprovement { f_best };
-                let ms = acq_multistart(&cfg, acq_seed);
-                let r = optimize_single(&gp, &ei, &bounds, &[], &ms);
-                (vec![r.x], r.restart_shortfall)
-            } else {
-                let qei =
-                    QExpectedImprovement::new(f_best, q, cfg.qei.samples, acq_seed ^ 0x5A);
-                let ms = qei_multistart(&cfg, acq_seed);
-                let out = optimize_qei(&gp, &qei, &bounds, &[], &ms);
-                (out.batch, out.restart_shortfall)
-            }
-        });
-        e.sanitize_batch(&mut batch);
-        e.commit_batch(batch);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::McQEgo, e)
 }
 
 /// Run MC-based q-EGO to budget exhaustion.

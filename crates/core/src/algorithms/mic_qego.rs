@@ -64,19 +64,8 @@ pub fn mic_batch(
 }
 
 /// Drive a prepared engine with mic-q-EGO to budget exhaustion.
-pub fn drive(mut e: Engine) -> RunRecord {
-    while e.should_continue() {
-        e.fit_model();
-        let q = e.q();
-        let bounds = e.unit_bounds();
-        let cfg = e.cfg().clone();
-        let acq_seed = e.seeds().fork(0xACC).next_seed();
-        let gp = e.gp().clone();
-        let mut batch = e.charge_acquisition(1, || mic_batch(&gp, &bounds, q, &cfg, acq_seed));
-        e.sanitize_batch(&mut batch);
-        e.commit_batch(batch);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::MicQEgo, e)
 }
 
 /// Run mic-q-EGO to budget exhaustion.

@@ -9,35 +9,14 @@
 //! exploitation-leaning) search space, and the batch inside it is built
 //! by the mic-q-EGO EI/UCB pair loop instead of joint MC q-EI.
 
-use super::mic_qego::mic_batch;
 use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
-use crate::trust_region::{TrustRegion, TrustRegionConfig};
 use pbo_problems::Problem;
 
 /// Drive a prepared engine with mic-TuRBO to budget exhaustion.
-pub fn drive(mut e: Engine) -> RunRecord {
-    let mut tr = TrustRegion::new(TrustRegionConfig::default());
-
-    while e.should_continue() {
-        e.fit_model();
-        let q = e.q();
-        let cfg = e.cfg().clone();
-        let acq_seed = e.seeds().fork(0xACC).next_seed();
-        let gp = e.gp().clone();
-        let f_best_min = e.best_min();
-        let center = e.best_x_unit();
-        let region = tr.bounds(&center, &gp.kernel().lengthscales);
-
-        let mut batch = e.charge_acquisition(1, || mic_batch(&gp, &region, q, &cfg, acq_seed));
-        e.sanitize_batch(&mut batch);
-        e.commit_batch(batch);
-
-        let improved = e.best_min() < f_best_min - 1e-12 * (1.0 + f_best_min.abs());
-        tr.update(improved);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::MicTurbo, e)
 }
 
 /// Run mic-TuRBO to budget exhaustion.

@@ -20,8 +20,11 @@ pub mod mc_qego;
 pub mod mic_qego;
 pub mod mic_turbo;
 pub mod random;
+pub mod stepper;
 pub mod thompson;
 pub mod turbo;
+
+pub use stepper::{drive_stepper, BatchStepper};
 
 use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
@@ -137,7 +140,7 @@ pub fn run_algorithm_observed<'a>(
     budget: &Budget,
     cfg: AlgoConfig,
     seed: u64,
-    observer: impl Observer + 'a,
+    observer: impl Observer + Send + 'a,
 ) -> Result<RunRecord, ConfigError> {
     let e = Engine::builder(problem)
         .budget(*budget)
@@ -146,16 +149,7 @@ pub fn run_algorithm_observed<'a>(
         .algorithm(kind.name())
         .observer(observer)
         .build()?;
-    Ok(match kind {
-        AlgorithmKind::KbQEgo => kb_qego::drive(e),
-        AlgorithmKind::MicQEgo => mic_qego::drive(e),
-        AlgorithmKind::McQEgo => mc_qego::drive(e),
-        AlgorithmKind::BspEgo => bsp_ego::drive(e),
-        AlgorithmKind::Turbo => turbo::drive(e),
-        AlgorithmKind::RandomSearch => random::drive(e),
-        AlgorithmKind::ThompsonSampling => thompson::drive(e),
-        AlgorithmKind::MicTurbo => mic_turbo::drive(e),
-    })
+    Ok(drive_stepper(kind, e))
 }
 
 /// Multistart settings for single-point acquisition maximization,

@@ -6,23 +6,11 @@ use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
 use pbo_problems::Problem;
-use rand::Rng;
 
 /// Drive a prepared engine with random search to budget exhaustion
 /// (q uniform points per cycle; no surrogate, no acquisition cost).
-pub fn drive(mut e: Engine) -> RunRecord {
-    while e.should_continue() {
-        e.begin_cycle();
-        let q = e.q();
-        let d = e.dim();
-        // Per-cycle fork: deterministic yet fresh each cycle.
-        let cycle = e.cycle_index() as u64;
-        let mut rng = e.seeds().fork(0x3A00 + cycle).rng();
-        let batch: Vec<Vec<f64>> =
-            (0..q).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect();
-        e.commit_batch(batch);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::RandomSearch, e)
 }
 
 /// Run random search to budget exhaustion.

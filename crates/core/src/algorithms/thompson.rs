@@ -61,20 +61,8 @@ pub fn thompson_batch(
 
 /// Drive a prepared engine with Thompson-sampling BO to budget
 /// exhaustion.
-pub fn drive(mut e: Engine) -> RunRecord {
-    while e.should_continue() {
-        e.fit_model();
-        let q = e.q();
-        let n_cand = e.cfg().acq.thompson_candidates;
-        let cycle_tag = 0xACC + e.cycle_index() as u64;
-        let acq_seed = e.seeds().fork(cycle_tag).next_seed();
-        let gp = e.gp().clone();
-        // No inner optimization → no restart shortfall to report.
-        let mut batch = e.charge_acquisition(1, || (thompson_batch(&gp, q, n_cand, acq_seed), 0));
-        e.sanitize_batch(&mut batch);
-        e.commit_batch(batch);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::ThompsonSampling, e)
 }
 
 /// Run Thompson-sampling BO to budget exhaustion.

@@ -8,50 +8,14 @@
 //! collapse. The restricted inner search space is why TuRBO's
 //! acquisition is the fastest of the five (paper §3.1).
 
-use super::{acq_multistart, qei_multistart};
 use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
-use crate::trust_region::{TrustRegion, TrustRegionConfig};
-use pbo_acq::mc::{optimize_qei, QExpectedImprovement};
-use pbo_acq::single::{optimize_single, ExpectedImprovement};
 use pbo_problems::Problem;
 
 /// Drive a prepared engine with TuRBO to budget exhaustion.
-pub fn drive(mut e: Engine) -> RunRecord {
-    let mut tr = TrustRegion::new(TrustRegionConfig::default());
-
-    while e.should_continue() {
-        e.fit_model();
-        let q = e.q();
-        let cfg = e.cfg().clone();
-        let acq_seed = e.seeds().fork(0xACC).next_seed();
-        let gp = e.gp().clone();
-        let f_best_min = e.best_min();
-        let center = e.best_x_unit();
-        let region = tr.bounds(&center, &gp.kernel().lengthscales);
-
-        let mut batch = e.charge_acquisition(1, || {
-            if q == 1 {
-                let ei = ExpectedImprovement { f_best: f_best_min };
-                let ms = acq_multistart(&cfg, acq_seed);
-                let r = optimize_single(&gp, &ei, &region, &[], &ms);
-                (vec![r.x], r.restart_shortfall)
-            } else {
-                let qei =
-                    QExpectedImprovement::new(f_best_min, q, cfg.qei.samples, acq_seed ^ 0x7B);
-                let ms = qei_multistart(&cfg, acq_seed);
-                let out = optimize_qei(&gp, &qei, &region, &[], &ms);
-                (out.batch, out.restart_shortfall)
-            }
-        });
-        e.sanitize_batch(&mut batch);
-        e.commit_batch(batch);
-
-        let improved = e.best_min() < f_best_min - 1e-12 * (1.0 + f_best_min.abs());
-        tr.update(improved);
-    }
-    e.finish()
+pub fn drive(e: Engine) -> RunRecord {
+    super::drive_stepper(super::AlgorithmKind::Turbo, e)
 }
 
 /// Run TuRBO to budget exhaustion.

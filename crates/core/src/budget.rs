@@ -11,7 +11,7 @@
 use crate::error::{non_negative, positive, ConfigError};
 
 /// Stopping rule of an optimization run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Stopping {
     /// Stop when virtual time reaches this many seconds (paper mode).
     VirtualTime(f64),
@@ -20,7 +20,7 @@ pub enum Stopping {
 }
 
 /// Full budget description.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Budget {
     /// Batch size `q` = parallel workers.
     pub batch_size: usize,

@@ -1,0 +1,61 @@
+//! Shared checkpoint primitives: content addressing and atomic file
+//! commits.
+//!
+//! Both persistence layers in the workspace — the orchestrator's
+//! per-run checkpoints (`pbo_bench::orchestrate`) and the session
+//! server's per-session journals (`pbo_core::session`) — follow the
+//! same discipline: the file name carries an FNV-1a-64 digest of every
+//! run-determining input, and writes go through a temp file + rename so
+//! a crash mid-write can never leave a torn file under the final name.
+//! This module is the single home of those two primitives.
+
+use std::path::Path;
+
+/// FNV-1a 64-bit hash (content addressing only; not cryptographic).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Write `body` to `path` atomically: the bytes land in a sibling
+/// `.tmp` file first and are renamed over `path` only once fully
+/// written. Readers therefore see either the previous complete file or
+/// the new complete file, never a prefix.
+pub fn atomic_write(path: &Path, body: &str) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let context = |what: &str, e: std::io::Error| format!("{what} {}: {e}", path.display());
+    std::fs::write(&tmp, body).map_err(|e| context("cannot write", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| context("cannot commit", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("pbo_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.json");
+        atomic_write(&path, "one").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one");
+        atomic_write(&path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        assert!(!dir.join("x.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -46,7 +46,7 @@ pub use crate::config::{AcqConfig, AlgoConfig, FantasyKind, QeiConfig};
 /// is installed and enabled, so disabled runs never pay for event
 /// construction. A free function over the field (not a method) so emit
 /// sites can keep disjoint borrows of the engine's other fields.
-fn emit<'a>(observer: &mut Option<Box<dyn Observer + 'a>>, build: impl FnOnce() -> Event) {
+fn emit<'a>(observer: &mut Option<Box<dyn Observer + Send + 'a>>, build: impl FnOnce() -> Event) {
     if let Some(obs) = observer.as_deref_mut() {
         if obs.enabled() {
             obs.on_event(&build());
@@ -54,9 +54,64 @@ fn emit<'a>(observer: &mut Option<Box<dyn Observer + 'a>>, build: impl FnOnce() 
     }
 }
 
+/// Re-borrow the boxed observer as the plain trait object the executor
+/// expects (dropping the `Send` marker is a no-op unsizing coercion).
+fn as_dyn<'b>(
+    observer: &'b mut Option<Box<dyn Observer + Send + '_>>,
+) -> Option<&'b mut (dyn Observer + 'b)> {
+    match observer {
+        Some(b) => Some(&mut **b),
+        None => None,
+    }
+}
+
+/// Emit one [`Event::PointFaulted`] per faulted outcome, in input
+/// order — the same stream [`evaluate_batch_ft_observed`] produces.
+/// Session tells synthesize their reports instead of evaluating, so
+/// they need the emission on its own.
+fn emit_report_faults<'a>(
+    observer: &mut Option<Box<dyn Observer + Send + 'a>>,
+    report: &BatchReport,
+) {
+    if let Some(obs) = observer.as_deref_mut() {
+        if obs.enabled() {
+            for (index, o) in report.outcomes.iter().enumerate() {
+                if o.attempts > 1 || o.faults.any() {
+                    obs.on_event(&Event::PointFaulted {
+                        index,
+                        attempts: o.attempts,
+                        recovered: o.value.is_some(),
+                        faults: o.faults,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// How the engine holds its problem: borrowed for classic in-process
+/// runs, owned for detached ask/tell sessions whose engine must outlive
+/// the frame that created it (`Engine<'static>` in a session registry).
+pub enum ProblemHandle<'a> {
+    /// Caller keeps the problem alive for the duration of the run.
+    Borrowed(&'a dyn Problem),
+    /// The engine owns the problem (sessions; thread-movable).
+    Owned(Box<dyn Problem + Send + Sync>),
+}
+
+impl ProblemHandle<'_> {
+    /// The problem, whoever owns it.
+    pub fn get(&self) -> &dyn Problem {
+        match self {
+            ProblemHandle::Borrowed(p) => *p,
+            ProblemHandle::Owned(p) => p.as_ref(),
+        }
+    }
+}
+
 /// The shared optimization context.
 pub struct Engine<'a> {
-    problem: &'a dyn Problem,
+    problem: ProblemHandle<'a>,
     budget: Budget,
     cfg: AlgoConfig,
     clock: VirtualClock,
@@ -81,14 +136,14 @@ pub struct Engine<'a> {
     doe_faults: FaultCounters,
     /// Optional event sink (`None` and a disabled sink behave
     /// identically: no events are built).
-    observer: Option<Box<dyn Observer + 'a>>,
+    observer: Option<Box<dyn Observer + Send + 'a>>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("algorithm", &self.algorithm)
-            .field("problem", &self.problem.name())
+            .field("problem", &self.problem.get().name())
             .field("seed", &self.seed)
             .field("n_data", &self.y.len())
             .field("cycle_idx", &self.cycle_idx)
@@ -99,13 +154,13 @@ impl std::fmt::Debug for Engine<'_> {
 /// Typed, validating constructor for [`Engine`] — see
 /// [`Engine::builder`].
 pub struct EngineBuilder<'a> {
-    problem: &'a dyn Problem,
+    problem: ProblemHandle<'a>,
     budget: Option<Budget>,
     cfg: AlgoConfig,
     seed: u64,
     algorithm: String,
     q: Option<usize>,
-    observer: Option<Box<dyn Observer + 'a>>,
+    observer: Option<Box<dyn Observer + Send + 'a>>,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -142,19 +197,21 @@ impl<'a> EngineBuilder<'a> {
 
     /// Install an event sink. At most one; tee with
     /// [`crate::observe::FanoutObserver`] if several are needed.
-    pub fn observer(mut self, observer: impl Observer + 'a) -> Self {
+    pub fn observer(mut self, observer: impl Observer + Send + 'a) -> Self {
         self.observer = Some(Box::new(observer));
         self
     }
 
-    /// Validate the configuration, evaluate the initial design
-    /// (untimed) and return the ready engine.
+    /// Validate the configuration and draw (but do not evaluate) the
+    /// initial design. The returned [`PreparedEngine`] is the suspend
+    /// point ask/tell sessions hand to a remote evaluator; in-process
+    /// callers never see it because [`EngineBuilder::build`] immediately
+    /// resolves it with [`PreparedEngine::evaluate_design`].
     ///
     /// Fails with a typed [`ConfigError`] instead of panicking: zero
-    /// batch size, a sub-2 initial design, non-finite budgets/knobs, a
-    /// shrinking retry backoff or a fully failed initial design all
-    /// surface here.
-    pub fn build(self) -> Result<Engine<'a>, ConfigError> {
+    /// batch size, a sub-2 initial design and non-finite budgets/knobs
+    /// all surface here (a fully failed design surfaces at absorb time).
+    pub fn prepare(self) -> Result<PreparedEngine<'a>, ConfigError> {
         let EngineBuilder { problem, budget, cfg, seed, algorithm, q, observer: mut obs } = self;
         if q == Some(0) {
             return Err(ConfigError::ZeroBatchSize);
@@ -166,7 +223,7 @@ impl<'a> EngineBuilder<'a> {
         budget.validate()?;
         cfg.validate()?;
 
-        let d = problem.dim();
+        let d = problem.get().dim();
         let root = SeedStream::new(seed);
         // The DoE stream must not depend on the algorithm: the paper
         // hands the same 10 initial sets to every method.
@@ -177,33 +234,128 @@ impl<'a> EngineBuilder<'a> {
             .iter()
             .map(|u| {
                 let mut x = u.clone();
-                pbo_sampling::scale_to_box(&mut x, problem.lower(), problem.upper());
+                pbo_sampling::scale_to_box(&mut x, problem.get().lower(), problem.get().upper());
                 x
             })
             .collect();
         emit(&mut obs, || Event::RunStarted {
             algorithm: algorithm.clone(),
-            problem: problem.name().to_string(),
+            problem: problem.get().name().to_string(),
             seed,
             q: budget.batch_size,
             dim: d,
         });
+        Ok(PreparedEngine {
+            problem,
+            budget,
+            cfg,
+            seed,
+            algorithm,
+            design_unit: unit_pts,
+            design_native: native,
+            observer: obs,
+        })
+    }
+
+    /// Validate the configuration, evaluate the initial design
+    /// (untimed) and return the ready engine.
+    ///
+    /// Fails with a typed [`ConfigError`] instead of panicking: zero
+    /// batch size, a sub-2 initial design, non-finite budgets/knobs, a
+    /// shrinking retry backoff or a fully failed initial design all
+    /// surface here.
+    pub fn build(self) -> Result<Engine<'a>, ConfigError> {
+        self.prepare()?.evaluate_design()
+    }
+}
+
+/// An engine suspended at the initial-design evaluate boundary: the
+/// configuration is validated, the Latin-hypercube design is drawn and
+/// `RunStarted` has been emitted, but nothing has been evaluated yet.
+///
+/// In-process runs resolve it immediately via
+/// [`PreparedEngine::evaluate_design`]; ask/tell sessions instead ship
+/// [`PreparedEngine::design_native`] to a remote evaluator and feed the
+/// resulting values back through [`PreparedEngine::absorb_design`].
+pub struct PreparedEngine<'a> {
+    problem: ProblemHandle<'a>,
+    budget: Budget,
+    cfg: AlgoConfig,
+    seed: u64,
+    algorithm: String,
+    design_unit: Vec<Vec<f64>>,
+    design_native: Vec<Vec<f64>>,
+    observer: Option<Box<dyn Observer + Send + 'a>>,
+}
+
+impl<'a> PreparedEngine<'a> {
+    /// The initial design in the problem's native box — the points a
+    /// remote evaluator must simulate before the run can start.
+    pub fn design_native(&self) -> &[Vec<f64>] {
+        &self.design_native
+    }
+
+    /// The problem being optimized.
+    pub fn problem(&self) -> &dyn Problem {
+        self.problem.get()
+    }
+
+    /// The validated budget (batch size, stopping rule, sim cost).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The validated algorithm configuration.
+    pub fn cfg(&self) -> &AlgoConfig {
+        &self.cfg
+    }
+
+    /// Emit the per-point fault events a batch report carries, in input
+    /// order — exactly what the in-process evaluator would have emitted.
+    pub fn emit_report_faults(&mut self, report: &BatchReport) {
+        emit_report_faults(&mut self.observer, report);
+    }
+
+    /// Evaluate the design in-process through the fault-tolerant pool
+    /// and absorb it. `build()` is exactly `prepare()` + this.
+    pub fn evaluate_design(mut self) -> Result<Engine<'a>, ConfigError> {
         // The DoE goes through the fault-tolerant pool too (a crashed
         // rank during initial sampling must not kill the run). Failed
         // design points are *dropped*, not imputed: with no dataset yet
         // there is no liar value to borrow, and a slightly smaller DoE
         // is exactly what the paper's cluster would deliver.
         let report = evaluate_batch_ft_observed(
-            problem,
-            &native,
-            budget.sim_seconds,
-            &cfg.ft,
-            obs.as_deref_mut(),
+            self.problem.get(),
+            &self.design_native,
+            self.budget.sim_seconds,
+            &self.cfg.ft,
+            as_dyn(&mut self.observer),
         );
+        self.absorb_design(&report)
+    }
+
+    /// Absorb an already-evaluated initial design and return the ready
+    /// engine. The report's outcomes must be aligned with
+    /// [`PreparedEngine::design_native`] (one per design point, in
+    /// order). Failed points are dropped; a fully failed design is the
+    /// typed [`ConfigError::EmptyDesign`].
+    pub fn absorb_design(self, report: &BatchReport) -> Result<Engine<'a>, ConfigError> {
+        let PreparedEngine {
+            problem,
+            budget,
+            cfg,
+            seed,
+            algorithm,
+            design_unit,
+            design_native: _,
+            observer: mut obs,
+        } = self;
+        let d = problem.get().dim();
+        let n0 = budget.initial_samples.max(2);
         let mut doe_faults = report.counters();
         let mut x = Matrix::zeros(0, d);
         let mut y = Vec::with_capacity(n0);
-        for (u, o) in unit_pts.iter().zip(&report.outcomes) {
+        for (u, o) in design_unit.iter().zip(&report.outcomes) {
             match o.value {
                 Some(v) => {
                     x.push_row(u).expect("DoE width");
@@ -227,7 +379,10 @@ impl<'a> EngineBuilder<'a> {
             budget,
             cfg,
             clock,
-            seeds: root.fork_named(&algorithm),
+            // `fork_named` is pure in (seed, label): re-deriving the
+            // algorithm stream here is bit-identical to forking it from
+            // the root stream in `prepare`.
+            seeds: SeedStream::new(seed).fork_named(&algorithm),
             algorithm,
             x,
             y,
@@ -247,7 +402,22 @@ impl<'a> Engine<'a> {
     /// Start building an engine for `problem`.
     pub fn builder(problem: &'a dyn Problem) -> EngineBuilder<'a> {
         EngineBuilder {
-            problem,
+            problem: ProblemHandle::Borrowed(problem),
+            budget: None,
+            cfg: AlgoConfig::default(),
+            seed: 0,
+            algorithm: "engine".to_string(),
+            q: None,
+            observer: None,
+        }
+    }
+
+    /// Start building an engine that owns its problem — required for
+    /// detached sessions where the engine outlives its creating frame
+    /// and moves across threads.
+    pub fn builder_owned(problem: Box<dyn Problem + Send + Sync>) -> EngineBuilder<'static> {
+        EngineBuilder {
+            problem: ProblemHandle::Owned(problem),
             budget: None,
             cfg: AlgoConfig::default(),
             seed: 0,
@@ -293,7 +463,22 @@ impl<'a> Engine<'a> {
 
     /// Problem dimension.
     pub fn dim(&self) -> usize {
-        self.problem.dim()
+        self.problem.get().dim()
+    }
+
+    /// The problem being optimized.
+    pub fn problem(&self) -> &dyn Problem {
+        self.problem.get()
+    }
+
+    /// The algorithm display name.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Current virtual-clock reading (seconds).
+    pub fn now(&self) -> f64 {
+        self.clock.now()
     }
 
     /// Unit-cube bounds of the (normalized) search space.
@@ -529,22 +714,49 @@ impl<'a> Engine<'a> {
     /// never reach the GP.
     pub fn commit_batch(&mut self, batch: Vec<Vec<f64>>) {
         assert!(!batch.is_empty(), "cannot commit an empty batch");
-        let before_best = self.best_min();
-        let native: Vec<Vec<f64>> = batch
-            .iter()
-            .map(|u| {
-                let mut x = u.clone();
-                pbo_sampling::scale_to_box(&mut x, self.problem.lower(), self.problem.upper());
-                x
-            })
-            .collect();
+        let native = self.to_native(&batch);
         let report: BatchReport = evaluate_batch_ft_observed(
-            self.problem,
+            self.problem.get(),
             &native,
             self.budget.sim_seconds,
             &self.cfg.ft,
-            self.observer.as_deref_mut(),
+            as_dyn(&mut self.observer),
         );
+        self.commit_report(batch, &report);
+    }
+
+    /// Map a unit-cube batch into the problem's native box — the points
+    /// an (in-process or remote) evaluator actually simulates.
+    pub fn to_native(&self, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let p = self.problem.get();
+        batch
+            .iter()
+            .map(|u| {
+                let mut x = u.clone();
+                pbo_sampling::scale_to_box(&mut x, p.lower(), p.upper());
+                x
+            })
+            .collect()
+    }
+
+    /// Emit the per-point fault events a batch report carries, in input
+    /// order — exactly what the in-process evaluator would have emitted.
+    /// Ask/tell sessions call this before [`Engine::commit_report`]
+    /// because their reports are synthesized from remote values instead
+    /// of coming out of [`evaluate_batch_ft_observed`].
+    pub fn emit_report_faults(&mut self, report: &BatchReport) {
+        emit_report_faults(&mut self.observer, report);
+    }
+
+    /// Absorb an already-evaluated batch: charge the virtual simulation
+    /// time, append to the dataset with graceful degradation and close
+    /// the cycle record. `batch` is in unit coordinates and must be
+    /// aligned with `report.outcomes`. This is the second half of
+    /// [`Engine::commit_batch`]; sessions call it directly with a
+    /// report built from remote evaluations.
+    pub fn commit_report(&mut self, batch: Vec<Vec<f64>>, report: &BatchReport) {
+        assert!(!batch.is_empty(), "cannot commit an empty batch");
+        let before_best = self.best_min();
         let mut faults = report.counters();
         // One virtual rank per batch element: the pool's wall time is
         // the slowest rank's, plus the dispatch overhead. Fault-free,
@@ -624,14 +836,15 @@ impl<'a> Engine<'a> {
         });
         let best_x = {
             let mut u = self.best_x_unit();
-            pbo_sampling::scale_to_box(&mut u, self.problem.lower(), self.problem.upper());
+            let p = self.problem.get();
+            pbo_sampling::scale_to_box(&mut u, p.lower(), p.upper());
             u
         };
         RunRecord {
             best_x,
             algorithm: self.algorithm,
-            problem: self.problem.name().to_string(),
-            maximize: self.problem.maximize(),
+            problem: self.problem.get().name().to_string(),
+            maximize: self.problem.get().maximize(),
             batch_size: self.budget.batch_size,
             seed: self.seed,
             // Dropped design points never entered `y_min`, so the

@@ -34,10 +34,16 @@
 //! - [`record`]: per-run traces (cycles, evaluations, time split) that
 //!   the bench harness aggregates into the paper's tables and figures,
 //!   with hand-rolled JSON (de)serialization for run checkpoints;
-//! - [`stats`]: summary statistics and Welch's t-test (Figure 8).
+//! - [`stats`]: summary statistics and Welch's t-test (Figure 8);
+//! - [`checkpoint`]: shared persistence primitives — FNV-1a content
+//!   addressing and atomic temp-file/rename commits;
+//! - [`session`]: resumable ask/tell sessions — the engine suspended at
+//!   the evaluate boundary, event-sourced for bit-identical resume
+//!   (the `pbo-server` daemon is built on this).
 
 pub mod algorithms;
 pub mod budget;
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
 pub mod engine;
@@ -47,5 +53,6 @@ pub mod json;
 pub mod observe;
 pub mod partition;
 pub mod record;
+pub mod session;
 pub mod stats;
 pub mod trust_region;

@@ -249,7 +249,7 @@ impl<O: Observer> Observer for std::sync::Arc<std::sync::Mutex<O>> {
 /// trace and a metrics registry in the same run).
 #[derive(Default)]
 pub struct FanoutObserver<'a> {
-    sinks: Vec<Box<dyn Observer + 'a>>,
+    sinks: Vec<Box<dyn Observer + Send + 'a>>,
 }
 
 impl<'a> FanoutObserver<'a> {
@@ -258,8 +258,9 @@ impl<'a> FanoutObserver<'a> {
         FanoutObserver { sinks: Vec::new() }
     }
 
-    /// Add a sink; builder-style.
-    pub fn with(mut self, sink: impl Observer + 'a) -> Self {
+    /// Add a sink; builder-style. Sinks are `Send` so a fanout-observed
+    /// engine can live inside a detached session moved across threads.
+    pub fn with(mut self, sink: impl Observer + Send + 'a) -> Self {
         self.sinks.push(Box::new(sink));
         self
     }

@@ -1,0 +1,28 @@
+//! # pbo-server — optimization-as-a-service for the PBO engine
+//!
+//! The paper's production setting runs the expensive UPHES simulator on
+//! machines the optimizer does not control. This crate serves the
+//! engine's ask/tell form ([`pbo_core::session`]) over a line-oriented
+//! TCP protocol, so any process that can evaluate the objective —
+//! a cluster job, a licensed simulator wrapper, a shell script — can
+//! drive Bayesian optimization without linking the engine:
+//!
+//! - [`proto`]: newline-delimited JSON requests/responses with typed,
+//!   machine-readable error codes (no panic ever crosses the wire);
+//! - [`registry`]: the multi-tenant session table — every state
+//!   transition is persisted through `pbo_core::checkpoint` so a killed
+//!   daemon resumes every session bit-identically on restart;
+//! - [`server`]: the TCP daemon (thread per connection);
+//! - [`client`]: a small blocking client plus a local-evaluation drive
+//!   loop (the test client, also used by the CI smoke test);
+//! - [`cli`]: argument parsing for the `pbo-server` binary
+//!   (`serve` / `status` / `drive` / `validate`);
+//! - [`problems`]: name → synthetic benchmark resolution for the
+//!   client-side evaluator.
+
+pub mod cli;
+pub mod client;
+pub mod problems;
+pub mod proto;
+pub mod registry;
+pub mod server;

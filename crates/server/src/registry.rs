@@ -1,0 +1,392 @@
+//! The multi-tenant session table.
+//!
+//! Concurrency model: a short-lived map lock hands out per-session
+//! `Arc<Mutex<…>>` entries; all engine work happens under the entry
+//! lock only, so sessions never block each other. Every
+//! journal-advancing transition (create, tell) is written through
+//! [`pbo_core::checkpoint::atomic_write`] before the reply goes out —
+//! a daemon killed at any instant restarts into exactly the set of
+//! states it acknowledged.
+//!
+//! A checkpoint file that fails to parse or replay is *quarantined*:
+//! the session id stays visible with a typed `session_corrupt` error
+//! and every other session loads normally. Nothing panics on bad disk
+//! state.
+
+use crate::proto::{validate_id, ErrorBody};
+use pbo_core::checkpoint::atomic_write;
+use pbo_core::observe::metrics::{MetricsObserver, MetricsRegistry};
+use pbo_core::session::{AskReply, SessionConfig, SessionState, SessionStatus};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// One slot in the session table.
+pub enum SessionEntry {
+    /// A healthy, drivable session.
+    Live(Box<SessionState>),
+    /// A quarantined session whose checkpoint could not be restored.
+    Corrupt {
+        /// Why the restore failed.
+        reason: String,
+    },
+}
+
+/// Reply to a `create`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateReply {
+    /// False when the id already existed with the same config.
+    pub created: bool,
+    /// Content-addressed config key.
+    pub key: String,
+    /// Next expected turn (0 for fresh sessions, later after resume).
+    pub turn: usize,
+}
+
+/// Reply to a `tell`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TellReply {
+    /// Next expected turn.
+    pub turn: usize,
+    /// True once the budget is exhausted and the record is closed.
+    pub done: bool,
+}
+
+/// The session registry: in-memory table + on-disk journal directory.
+pub struct Registry {
+    dir: Option<PathBuf>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<SessionEntry>>>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Registry {
+    /// A registry with no persistence (unit tests, ephemeral servers).
+    pub fn in_memory() -> Registry {
+        Registry {
+            dir: None,
+            sessions: Mutex::new(HashMap::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Open (creating if needed) a persistent registry rooted at `dir`
+    /// and restore every `*.session.json` checkpoint found there.
+    /// Corrupt checkpoints are quarantined, never fatal.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Registry, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create session dir {}: {e}", dir.display()))?;
+        let reg = Registry {
+            dir: Some(dir.clone()),
+            sessions: Mutex::new(HashMap::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+        };
+        let resumed = reg.metrics.counter("server.sessions.resumed");
+        let quarantined = reg.metrics.counter("server.sessions.quarantined");
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read session dir {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".session.json"))
+            })
+            .collect();
+        entries.sort(); // deterministic restore order
+        for path in entries {
+            let fallback_id = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".session.json"))
+                .unwrap_or("unknown")
+                .to_string();
+            let entry = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))
+                .and_then(|body| {
+                    SessionState::from_checkpoint_line(&body).map_err(|e| e.to_string())
+                });
+            let (id, entry) = match entry {
+                Ok((id, state)) => {
+                    // Metrics observers do not survive serialization;
+                    // rebuild by replaying into a fresh one.
+                    let state = reobserve(&state, &reg.metrics).unwrap_or(state);
+                    resumed.inc();
+                    (id, SessionEntry::Live(Box::new(state)))
+                }
+                Err(reason) => {
+                    quarantined.inc();
+                    (fallback_id, SessionEntry::Corrupt { reason })
+                }
+            };
+            reg.sessions
+                .lock()
+                .expect("session table poisoned")
+                .insert(id, Arc::new(Mutex::new(entry)));
+        }
+        Ok(reg)
+    }
+
+    /// The metrics registry (server counters + aggregated engine
+    /// events from every session).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Number of sessions (live + quarantined).
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// True when no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn checkpoint_path(&self, id: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{id}.session.json")))
+    }
+
+    fn persist(&self, id: &str, state: &SessionState) -> Result<(), ErrorBody> {
+        let Some(path) = self.checkpoint_path(id) else { return Ok(()) };
+        let mut body = state.to_checkpoint_line(id);
+        body.push('\n');
+        atomic_write(&path, &body)
+            .map_err(|e| ErrorBody::new("io", format!("persist failed: {e}")))
+    }
+
+    fn entry(&self, id: &str) -> Result<Arc<Mutex<SessionEntry>>, ErrorBody> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ErrorBody::new("unknown_session", format!("no session '{id}'")))
+    }
+
+    /// Run `f` on a live session; quarantined entries answer
+    /// `session_corrupt`.
+    fn with_live<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut SessionState) -> Result<R, ErrorBody>,
+    ) -> Result<R, ErrorBody> {
+        let entry = self.entry(id)?;
+        let mut guard = entry.lock().expect("session entry poisoned");
+        match &mut *guard {
+            SessionEntry::Live(state) => f(state),
+            SessionEntry::Corrupt { reason } => Err(ErrorBody::new(
+                "session_corrupt",
+                format!("session '{id}' is quarantined: {reason}"),
+            )),
+        }
+    }
+
+    /// Create a session, idempotently: re-creating an existing id with
+    /// the same config key succeeds with `created: false` (this is how
+    /// a restarted client re-attaches); a different key is the typed
+    /// `config_mismatch` error.
+    pub fn create(&self, id: &str, cfg: SessionConfig) -> Result<CreateReply, ErrorBody> {
+        validate_id(id)?;
+        let key = cfg.key();
+        // Hold the table lock across the existence check and insert so
+        // two racing creates cannot both build the session.
+        let mut table = self.sessions.lock().expect("session table poisoned");
+        if let Some(entry) = table.get(id).cloned() {
+            let guard = entry.lock().expect("session entry poisoned");
+            return match &*guard {
+                SessionEntry::Live(state) => {
+                    let have = state.config().key();
+                    if have == key {
+                        Ok(CreateReply { created: false, key, turn: state.turn() })
+                    } else {
+                        Err(ErrorBody::new(
+                            "config_mismatch",
+                            format!(
+                                "session '{id}' exists with config key {have}, request hashes to {key}"
+                            ),
+                        ))
+                    }
+                }
+                SessionEntry::Corrupt { reason } => Err(ErrorBody::new(
+                    "session_corrupt",
+                    format!("session '{id}' is quarantined: {reason}"),
+                )),
+            };
+        }
+        let observer = MetricsObserver::new(self.metrics.clone());
+        let state = SessionState::create_observed(cfg, observer)
+            .map_err(|e| ErrorBody::from_session(&e))?;
+        self.persist(id, &state)?;
+        self.metrics.counter("server.sessions.created").inc();
+        table.insert(id.to_string(), Arc::new(Mutex::new(SessionEntry::Live(Box::new(state)))));
+        Ok(CreateReply { created: true, key, turn: 0 })
+    }
+
+    /// Ask a session for its next batch.
+    pub fn ask(&self, id: &str) -> Result<AskReply, ErrorBody> {
+        self.metrics.counter("server.requests.ask").inc();
+        self.with_live(id, |s| s.ask().map_err(|e| ErrorBody::from_session(&e)))
+    }
+
+    /// Tell a session its evaluated values; the new journal state is
+    /// durable before the reply.
+    pub fn tell(&self, id: &str, turn: usize, values: &[f64]) -> Result<TellReply, ErrorBody> {
+        self.metrics.counter("server.requests.tell").inc();
+        self.with_live(id, |s| {
+            s.tell(turn, values).map_err(|e| ErrorBody::from_session(&e))?;
+            self.persist(id, s)?;
+            Ok(TellReply { turn: s.turn(), done: s.is_done() })
+        })
+    }
+
+    /// A session's status snapshot plus its config key.
+    pub fn status(&self, id: &str) -> Result<(SessionStatus, String), ErrorBody> {
+        self.with_live(id, |s| Ok((s.status(), s.config().key())))
+    }
+
+    /// The finished record's canonical JSON line.
+    pub fn record_line(&self, id: &str) -> Result<String, ErrorBody> {
+        self.with_live(id, |s| {
+            s.record().map(|r| r.to_json_line()).ok_or_else(|| {
+                ErrorBody::new("not_done", format!("session '{id}' has not finished"))
+            })
+        })
+    }
+
+    /// `(id, phase, turn)` for every session, sorted by id.
+    pub fn list(&self) -> Vec<(String, String, usize)> {
+        let entries: Vec<(String, Arc<Mutex<SessionEntry>>)> = {
+            let table = self.sessions.lock().expect("session table poisoned");
+            table.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out: Vec<(String, String, usize)> = entries
+            .into_iter()
+            .map(|(id, entry)| {
+                let guard = entry.lock().expect("session entry poisoned");
+                match &*guard {
+                    SessionEntry::Live(s) => (id, s.status().phase.to_string(), s.turn()),
+                    SessionEntry::Corrupt { .. } => (id, "corrupt".to_string(), 0),
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Drop a session from the live table. Its checkpoint file stays
+    /// on disk, so the next daemon start restores it.
+    pub fn close(&self, id: &str) -> Result<(), ErrorBody> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| ErrorBody::new("unknown_session", format!("no session '{id}'")))
+    }
+}
+
+/// Re-attach a metrics observer to a restored session by replaying its
+/// journal into a fresh observed session. Returns `None` when the
+/// replay unexpectedly fails (the caller keeps the plain state).
+fn reobserve(state: &SessionState, metrics: &Arc<MetricsRegistry>) -> Option<SessionState> {
+    let cfg = state.config().clone();
+    let observer = MetricsObserver::new(metrics.clone());
+    let mut fresh = SessionState::create_observed(cfg, observer).ok()?;
+    for (i, values) in state.journal().iter().enumerate() {
+        fresh.tell(i, values).ok()?;
+    }
+    Some(fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::algorithms::AlgorithmKind;
+    use pbo_core::budget::Budget;
+    use pbo_core::session::{ProblemSpec, SessionProfile};
+    use pbo_problems::{Problem, SyntheticFn};
+
+    fn cfg(seed: u64) -> SessionConfig {
+        let p = SyntheticFn::ackley(2);
+        SessionConfig {
+            algorithm: AlgorithmKind::RandomSearch,
+            problem: ProblemSpec::of(&p),
+            budget: Budget::cycles(2, 2).with_initial_samples(4),
+            profile: SessionProfile::Test,
+            seed,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pbo_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_is_idempotent_and_guards_config_drift() {
+        let reg = Registry::in_memory();
+        let first = reg.create("s", cfg(1)).unwrap();
+        assert!(first.created);
+        let again = reg.create("s", cfg(1)).unwrap();
+        assert!(!again.created);
+        assert_eq!(again.key, first.key);
+        let err = reg.create("s", cfg(2)).unwrap_err();
+        assert_eq!(err.code, "config_mismatch");
+    }
+
+    #[test]
+    fn full_drive_through_registry_and_restart_resume() {
+        let dir = tmp_dir("drive");
+        let p = SyntheticFn::ackley(2);
+        let finish = |reg: &Registry| {
+            loop {
+                let ask = reg.ask("s").unwrap();
+                let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+                if reg.tell("s", ask.turn, &values).unwrap().done {
+                    break;
+                }
+            }
+            reg.record_line("s").unwrap()
+        };
+
+        // Uninterrupted run.
+        let reg = Registry::open(&dir).unwrap();
+        reg.create("s", cfg(5)).unwrap();
+        let uninterrupted = finish(&reg);
+
+        // Same config, killed after the first tell, reopened.
+        let dir2 = tmp_dir("drive2");
+        let reg = Registry::open(&dir2).unwrap();
+        reg.create("s", cfg(5)).unwrap();
+        let ask = reg.ask("s").unwrap();
+        let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+        reg.tell("s", ask.turn, &values).unwrap();
+        drop(reg); // "kill"
+        let reg = Registry::open(&dir2).unwrap();
+        assert_eq!(reg.len(), 1);
+        let resumed = finish(&reg);
+
+        assert_eq!(uninterrupted, resumed, "resume must be bit-identical");
+        let _ = std::fs::remove_dir_all(dir);
+        let _ = std::fs::remove_dir_all(dir2);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let reg = Registry::open(&dir).unwrap();
+        reg.create("good", cfg(1)).unwrap();
+        drop(reg);
+        std::fs::write(dir.join("bad.session.json"), "{\"event\":\"pbo-session\",trunc").unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 2);
+        // The bad one answers with a typed error…
+        let err = reg.ask("bad").unwrap_err();
+        assert_eq!(err.code, "session_corrupt");
+        // …and the good one still works.
+        assert!(reg.ask("good").is_ok());
+        assert_eq!(reg.metrics().snapshot().counter("server.sessions.quarantined"), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,278 @@
+//! The TCP daemon: thread per connection, newline-delimited JSON.
+//!
+//! Failure containment is the design rule: a malformed line answers a
+//! typed error and the connection lives on; a session-layer error
+//! answers a typed error and the *session* lives on; a dropped
+//! connection kills only its own thread. The only ways the accept loop
+//! ends are a `shutdown` request and the process being killed — the
+//! latter is exactly what the crash/restart conformance suite does.
+
+use crate::proto::{parse_request, ErrorBody, Request};
+use crate::registry::Registry;
+use pbo_core::json::{push_f64_lossless, push_str_literal};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    registry: Arc<Registry>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a daemon running on a background thread.
+pub struct ServerHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    handle: JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Wait for the daemon to exit (after a `shutdown` request).
+    pub fn join(self) -> std::io::Result<()> {
+        self.handle.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port; read the real
+    /// one back from [`Server::local_addr`]).
+    pub fn bind(registry: Arc<Registry>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { registry, listener, addr, shutdown: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a `shutdown` request arrives. Blocking.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let registry = self.registry.clone();
+            let shutdown = self.shutdown.clone();
+            let addr = self.addr;
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &registry, &shutdown, addr);
+            });
+        }
+        Ok(())
+    }
+
+    /// Serve on a background thread; returns once the socket accepts.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let handle = std::thread::spawn(move || self.run());
+        ServerHandle { addr, handle }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = dispatch(registry, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve one request line; returns the response line and whether the
+/// daemon should stop. Never panics on client input.
+pub fn dispatch(registry: &Registry, line: &str) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            registry.metrics().counter("server.errors.protocol").inc();
+            return (e.to_line(), false);
+        }
+    };
+    let result: Result<String, ErrorBody> = match request {
+        Request::Create { id, config } => registry.create(&id, config).map(|r| {
+            let mut out = ok_head();
+            out.push_str(",\"id\":");
+            push_str_literal(&mut out, &id);
+            out.push_str(",\"key\":");
+            push_str_literal(&mut out, &r.key);
+            let _ = write!(out, ",\"created\":{},\"turn\":{}}}", r.created, r.turn);
+            out
+        }),
+        Request::Ask { id } => registry.ask(&id).map(|r| {
+            let mut out = ok_head();
+            let _ = write!(out, ",\"turn\":{},\"points\":[", r.turn);
+            for (i, p) in r.points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, v) in p.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    push_f64_lossless(&mut out, *v);
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+            out
+        }),
+        Request::Tell { id, turn, values } => registry.tell(&id, turn, &values).map(|r| {
+            let mut out = ok_head();
+            let _ = write!(out, ",\"turn\":{},\"done\":{}}}", r.turn, r.done);
+            out
+        }),
+        Request::Status { id } => registry.status(&id).map(|(s, key)| {
+            let mut out = ok_head();
+            out.push_str(",\"id\":");
+            push_str_literal(&mut out, &id);
+            out.push_str(",\"phase\":");
+            push_str_literal(&mut out, s.phase);
+            let _ = write!(
+                out,
+                ",\"turn\":{},\"cycles\":{},\"n_data\":{},\"best_y\":",
+                s.turn, s.cycles, s.n_data
+            );
+            match s.best_y {
+                Some(v) => push_f64_lossless(&mut out, v),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"clock\":");
+            push_f64_lossless(&mut out, s.clock);
+            out.push_str(",\"key\":");
+            push_str_literal(&mut out, &key);
+            out.push('}');
+            out
+        }),
+        Request::Record { id } => registry.record_line(&id).map(|line| {
+            let mut out = ok_head();
+            out.push_str(",\"record\":");
+            push_str_literal(&mut out, &line);
+            out.push('}');
+            out
+        }),
+        Request::List => Ok({
+            let mut out = ok_head();
+            out.push_str(",\"sessions\":[");
+            for (i, (id, phase, turn)) in registry.list().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"id\":");
+                push_str_literal(&mut out, id);
+                out.push_str(",\"phase\":");
+                push_str_literal(&mut out, phase);
+                let _ = write!(out, ",\"turn\":{turn}}}");
+            }
+            out.push_str("]}");
+            out
+        }),
+        Request::ServerStatus => Ok({
+            let snap = registry.metrics().snapshot();
+            let mut out = ok_head();
+            let _ = write!(out, ",\"proto\":{}", crate::proto::PROTO_VERSION);
+            let _ = write!(out, ",\"sessions\":{}", registry.len());
+            out.push_str(",\"counters\":{");
+            for (i, (name, value)) in snap.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str_literal(&mut out, name);
+                let _ = write!(out, ":{value}");
+            }
+            out.push_str("}}");
+            out
+        }),
+        Request::Close { id } => registry.close(&id).map(|()| {
+            let mut out = ok_head();
+            out.push('}');
+            out
+        }),
+        Request::Shutdown => {
+            let mut out = ok_head();
+            out.push_str(",\"stopping\":true}");
+            return (out, true);
+        }
+    };
+    match result {
+        Ok(line) => (line, false),
+        Err(e) => {
+            registry
+                .metrics()
+                .counter(&format!("server.errors.{}", e.code))
+                .inc();
+            (e.to_line(), false)
+        }
+    }
+}
+
+fn ok_head() -> String {
+    String::from("{\"ok\":true")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_core::json::{parse, Json};
+
+    #[test]
+    fn dispatch_survives_garbage_without_touching_sessions() {
+        let reg = Registry::in_memory();
+        for garbage in ["", "{", "null", "{\"proto\":1,\"op\":\"nope\"}", "\u{7f}\u{1}"] {
+            let (resp, stop) = dispatch(&reg, garbage);
+            assert!(!stop);
+            let v = parse(&resp).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        }
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn unknown_session_is_a_typed_error() {
+        let reg = Registry::in_memory();
+        let (resp, _) = dispatch(&reg, "{\"proto\":1,\"op\":\"ask\",\"id\":\"ghost\"}");
+        let v = parse(&resp).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("unknown_session")
+        );
+    }
+
+    #[test]
+    fn shutdown_sets_stop_flag() {
+        let reg = Registry::in_memory();
+        let (resp, stop) = dispatch(&reg, "{\"proto\":1,\"op\":\"shutdown\"}");
+        assert!(stop);
+        assert!(resp.contains("\"stopping\":true"));
+    }
+}

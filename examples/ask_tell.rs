@@ -1,0 +1,101 @@
+//! Ask/tell optimization as a service: start a `pbo-server` daemon
+//! in-process, drive a session over TCP with an explicit
+//! ask → evaluate → tell loop, crash-and-resume it mid-run, and verify
+//! the final record is byte-identical to a plain in-process run.
+//!
+//! ```text
+//! cargo run --release --example ask_tell
+//! ```
+//!
+//! The same loop works against a standalone daemon
+//! (`pbo-server serve --addr 127.0.0.1:7341 --dir pbo-sessions`) from
+//! any process that speaks newline-delimited JSON; `Client` is just a
+//! convenience wrapper over that protocol.
+
+use pbo::core::algorithms::run_algorithm_observed;
+use pbo::core::budget::Budget;
+use pbo::core::observe::NullObserver;
+use pbo::core::session::{ProblemSpec, SessionConfig, SessionProfile};
+use pbo::prelude::AlgorithmKind;
+use pbo::problems::{Problem, SyntheticFn};
+use pbo_server::client::Client;
+use pbo_server::registry::Registry;
+use pbo_server::server::Server;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The daemon holds the optimizer; the client holds the simulator.
+    // Sessions checkpoint to disk after every state transition, so a
+    // killed daemon restarts into exactly the sessions it acknowledged.
+    let dir = std::env::temp_dir().join(format!("pbo_ask_tell_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = Server::bind(Arc::new(Registry::open(&dir)?), "127.0.0.1:0")?;
+    let addr = server.local_addr();
+    let mut handle = Some(server.spawn());
+    println!("daemon listening on {addr}, sessions in {}", dir.display());
+
+    // The client side: the problem stays here. The server only ever
+    // sees its bounds and orientation — this is how a licensed or
+    // air-gapped simulator joins the optimization.
+    let problem = SyntheticFn::ackley(3);
+    let cfg = SessionConfig {
+        algorithm: AlgorithmKind::KbQEgo,
+        problem: ProblemSpec::of(&problem),
+        budget: Budget::cycles(5, 2).with_initial_samples(6),
+        profile: SessionProfile::Test,
+        seed: 42,
+    };
+
+    let mut client = Client::connect(addr)?;
+    let (created, _) = client.create("demo", &cfg)?;
+    println!("session 'demo' created: {created}");
+
+    // The ask/tell loop, spelled out: ask for the next batch, evaluate
+    // it locally, tell the values back. The first ask is the initial
+    // design; each later ask is one optimization cycle's batch.
+    let mut tells = 0;
+    let mut done = false;
+    while !done {
+        let (turn, points) = client.ask("demo")?;
+        let values: Vec<f64> = points.iter().map(|x| problem.eval(x)).collect();
+        done = client.tell("demo", turn, &values)?;
+        tells += 1;
+
+        if tells == 2 {
+            // Crash drill: stop the daemon cold after the first cycle
+            // and restart it over the same directory. The session
+            // resumes from its checkpoint — same turn, same trajectory.
+            client.shutdown()?;
+            if let Some(h) = handle.take() {
+                h.join()?;
+            }
+            let server = Server::bind(Arc::new(Registry::open(&dir)?), "127.0.0.1:0")?;
+            let addr = server.local_addr();
+            handle = Some(server.spawn());
+            client = Client::connect(addr)?;
+            let (recreated, turn) = client.create("demo", &cfg)?;
+            println!("daemon restarted; re-attach created={recreated}, resumed at turn {turn}");
+        }
+    }
+    println!("session finished after {tells} tells");
+
+    // The served trajectory is bit-identical to running the same
+    // config in-process — the record lines match byte for byte.
+    let served = client.record("demo")?;
+    let local = run_algorithm_observed(
+        cfg.algorithm,
+        &problem,
+        &cfg.budget,
+        cfg.profile.algo_config(),
+        cfg.seed,
+        NullObserver,
+    )?
+    .to_json_line();
+    assert_eq!(served, local, "served record must equal the in-process record");
+    println!("served record == in-process record ({} bytes)", served.len());
+
+    client.shutdown()?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

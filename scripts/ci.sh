@@ -71,6 +71,37 @@ if [[ "${1:-}" != "--quick" ]]; then
   cmp "$orch/seq/ackley_evals_by_batch.csv" "$orch/par/ackley_evals_by_batch.csv"
   rm -rf "$orch"
 
+  # Session-server smoke: start the daemon, drive a 3-cycle session
+  # partway, kill -9 the daemon, restart it over the same directory,
+  # resume the session to completion — and require the final record to
+  # be byte-identical to the in-process reference (`drive --local`).
+  echo "== pbo-server smoke: kill -9 / restart / resume is byte-identical =="
+  srv=target/ci-server
+  rm -rf "$srv"; mkdir -p "$srv"
+  cargo build --release -q -p pbo-server
+  start_daemon() {
+    target/release/pbo-server serve --addr 127.0.0.1:0 \
+      --dir "$srv/sessions" --addr-file "$srv/addr" >"$srv/daemon.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 100); do [[ -s "$srv/addr" ]] && break; sleep 0.1; done
+    [[ -s "$srv/addr" ]] || { cat "$srv/daemon.log"; exit 1; }
+  }
+  session=(--id ci-smoke --problem ackley-3d --algo kb-q-ego \
+           --cycles 3 --q 2 --init 6 --seed 7)
+  start_daemon
+  target/release/pbo-server drive --addr "$(cat "$srv/addr")" \
+    "${session[@]}" --stop-after 2 >/dev/null
+  kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
+  rm -f "$srv/addr"
+  start_daemon
+  target/release/pbo-server drive --addr "$(cat "$srv/addr")" \
+    "${session[@]}" --record-out "$srv/served.json" >/dev/null
+  target/release/pbo-server drive --local \
+    "${session[@]}" --record-out "$srv/local.json" >/dev/null
+  kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
+  cmp "$srv/served.json" "$srv/local.json"
+  rm -rf "$srv"
+
   # The public API surface is documented; rustdoc warnings (broken
   # intra-doc links, missing docs) are errors.
   echo "== cargo doc --no-deps (warnings are errors) =="

@@ -151,7 +151,7 @@ pub fn run_observed<'a>(
     kind: AlgorithmKind,
     problem: &'a dyn Problem,
     cfg: RunConfig,
-    observer: impl Observer + 'a,
+    observer: impl Observer + Send + 'a,
 ) -> Result<RunRecord, ConfigError> {
     run_algorithm_observed(kind, problem, &cfg.budget, cfg.algo, cfg.seed, observer)
 }

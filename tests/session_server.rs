@@ -1,0 +1,385 @@
+//! Conformance suite for the ask/tell session server.
+//!
+//! The contract under test: serving an optimization as a remote
+//! ask/tell session changes *nothing* about its trajectory. Every test
+//! here compares canonical `RunRecord` JSON lines byte for byte
+//! against the in-process reference (`run_algorithm_observed` with the
+//! same config and seed) — not "close", identical.
+
+use pbo::prelude::*;
+use pbo::core::session::{ProblemSpec, SessionConfig, SessionProfile, SessionState};
+use pbo_server::client::{drive, Client};
+use pbo_server::proto;
+use pbo_server::registry::Registry;
+use pbo_server::server::Server;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const ALL_ALGORITHMS: [AlgorithmKind; 8] = [
+    AlgorithmKind::KbQEgo,
+    AlgorithmKind::MicQEgo,
+    AlgorithmKind::McQEgo,
+    AlgorithmKind::BspEgo,
+    AlgorithmKind::Turbo,
+    AlgorithmKind::MicTurbo,
+    AlgorithmKind::RandomSearch,
+    AlgorithmKind::ThompsonSampling,
+];
+
+fn session_cfg(
+    algorithm: AlgorithmKind,
+    seed: u64,
+    cycles: usize,
+    q: usize,
+) -> (SyntheticFn, SessionConfig) {
+    let p = SyntheticFn::ackley(2);
+    let cfg = SessionConfig {
+        algorithm,
+        problem: ProblemSpec::of(&p),
+        budget: Budget::cycles(cycles, q).with_initial_samples(4),
+        profile: SessionProfile::Test,
+        seed,
+    };
+    (p, cfg)
+}
+
+/// The in-process reference record the session must reproduce exactly.
+fn reference_line(p: &SyntheticFn, cfg: &SessionConfig) -> String {
+    run_algorithm_observed(
+        cfg.algorithm,
+        p,
+        &cfg.budget,
+        cfg.profile.algo_config(),
+        cfg.seed,
+        NullObserver,
+    )
+    .unwrap()
+    .to_json_line()
+}
+
+/// Drive a session to completion in-process, evaluating its asks with
+/// the real problem.
+fn drive_state(mut s: SessionState, p: &SyntheticFn) -> String {
+    while !s.is_done() {
+        let ask = s.ask().unwrap();
+        let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+        s.tell(ask.turn, &values).unwrap();
+    }
+    s.record().unwrap().to_json_line()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pbo_srv_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Satellite #1 — ask/tell conformance: every algorithm's session
+/// trajectory is byte-identical to its in-process run.
+#[test]
+fn session_reproduces_in_process_run_for_every_algorithm() {
+    for (i, algorithm) in ALL_ALGORITHMS.into_iter().enumerate() {
+        let (p, cfg) = session_cfg(algorithm, 40 + i as u64, 3, 2);
+        let want = reference_line(&p, &cfg);
+        let got = drive_state(SessionState::create(cfg).unwrap(), &p);
+        assert_eq!(got, want, "{} session diverged from in-process run", algorithm.name());
+    }
+}
+
+/// Satellite #1 (wire leg) — the same bit-identity holds across a real
+/// TCP round trip, including the float encoding in both directions.
+#[test]
+fn session_reproduces_in_process_run_over_tcp() {
+    let server = Server::bind(Arc::new(Registry::in_memory()), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).unwrap();
+
+    for (i, algorithm) in
+        [AlgorithmKind::KbQEgo, AlgorithmKind::ThompsonSampling].into_iter().enumerate()
+    {
+        let (p, cfg) = session_cfg(algorithm, 70 + i as u64, 3, 2);
+        let want = reference_line(&p, &cfg);
+        let id = format!("tcp-{}", algorithm.name());
+        let outcome = drive(&mut client, &id, &cfg, &p, None).unwrap();
+        assert!(outcome.done);
+        assert_eq!(outcome.record.unwrap(), want, "{} diverged over TCP", algorithm.name());
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Satellite #2 — crash/restart matrix: kill the registry after each
+/// cycle k of a 10-cycle study, restart from disk, resume; the final
+/// record must be byte-identical to the uninterrupted run, for every k.
+#[test]
+fn crash_restart_matrix_resumes_bit_identically() {
+    let n_cycles = 10;
+    let (p, cfg) = session_cfg(AlgorithmKind::KbQEgo, 99, n_cycles, 2);
+    let want = reference_line(&p, &cfg);
+
+    let finish = |reg: &Registry| -> String {
+        loop {
+            let ask = reg.ask("study").unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            if reg.tell("study", ask.turn, &values).unwrap().done {
+                break;
+            }
+        }
+        reg.record_line("study").unwrap()
+    };
+
+    for k in 0..n_cycles {
+        let dir = tmp_dir(&format!("matrix_{k}"));
+        let reg = Registry::open(&dir).unwrap();
+        reg.create("study", cfg.clone()).unwrap();
+        // Design tell + k cycle tells, then "kill" the daemon.
+        for _ in 0..=k {
+            let ask = reg.ask("study").unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            assert!(!reg.tell("study", ask.turn, &values).unwrap().done);
+        }
+        drop(reg);
+
+        // Restart: re-attach idempotently (what a restarted client
+        // does), then drive to completion.
+        let reg = Registry::open(&dir).unwrap();
+        let reply = reg.create("study", cfg.clone()).unwrap();
+        assert!(!reply.created, "restart must re-attach, not recreate");
+        assert_eq!(reply.turn, k + 1, "journal must have survived the kill");
+        let got = finish(&reg);
+        assert_eq!(got, want, "resume after cycle {k} diverged");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Satellite #2 (corruption leg) — a truncated checkpoint is
+/// quarantined with a typed error; sessions sharing the directory are
+/// untouched and still resume bit-identically.
+#[test]
+fn corrupt_checkpoint_quarantines_one_session_only() {
+    let dir = tmp_dir("quarantine");
+    let (p, cfg) = session_cfg(AlgorithmKind::RandomSearch, 11, 2, 2);
+    let want = reference_line(&p, &cfg);
+
+    let reg = Registry::open(&dir).unwrap();
+    reg.create("good", cfg.clone()).unwrap();
+    reg.create("doomed", session_cfg(AlgorithmKind::RandomSearch, 12, 2, 2).1).unwrap();
+    drop(reg);
+
+    // Truncate one checkpoint mid-byte, as a crash during a non-atomic
+    // write would have (atomic_write prevents this; simulate the damage
+    // an adversarial filesystem could still inflict).
+    let doomed = dir.join("doomed.session.json");
+    let body = std::fs::read_to_string(&doomed).unwrap();
+    std::fs::write(&doomed, &body[..body.len() / 2]).unwrap();
+
+    let reg = Registry::open(&dir).unwrap();
+    let err = reg.ask("doomed").unwrap_err();
+    assert_eq!(err.code, "session_corrupt");
+    let err = reg.tell("doomed", 0, &[1.0, 2.0]).unwrap_err();
+    assert_eq!(err.code, "session_corrupt");
+
+    // The sibling session is unaffected.
+    let got = {
+        loop {
+            let ask = reg.ask("good").unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            if reg.tell("good", ask.turn, &values).unwrap().done {
+                break;
+            }
+        }
+        reg.record_line("good").unwrap()
+    };
+    assert_eq!(got, want);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Satellite #3 — concurrency soak: 64 sessions driven through one
+/// daemon in a seeded pseudo-random interleaving (tells land
+/// out-of-order across sessions, connections rotate). Every trajectory
+/// must equal its solo in-process reference: sessions are isolated.
+#[test]
+fn soak_64_interleaved_sessions_are_isolated() {
+    let server = Server::bind(Arc::new(Registry::in_memory()), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut clients: Vec<Client> =
+        (0..4).map(|_| Client::connect(addr).unwrap()).collect();
+
+    struct Sess {
+        id: String,
+        p: SyntheticFn,
+        cfg: SessionConfig,
+        done: bool,
+    }
+    let mut sessions: Vec<Sess> = (0..64)
+        .map(|i| {
+            // A few surrogate-driven sessions in the mix; the bulk is
+            // random search so the soak stays fast.
+            let algorithm = if i % 8 == 0 {
+                AlgorithmKind::KbQEgo
+            } else {
+                AlgorithmKind::RandomSearch
+            };
+            let (p, cfg) = session_cfg(algorithm, 500 + i as u64, 2, 2);
+            Sess { id: format!("soak-{i:02}"), p, cfg, done: false }
+        })
+        .collect();
+    for (i, s) in sessions.iter().enumerate() {
+        clients[i % 4].create(&s.id, &s.cfg).unwrap();
+    }
+
+    // Seeded LCG interleaving: pick a random unfinished session, ask,
+    // evaluate, tell — so tells from different sessions interleave in
+    // an order no sequential client would produce.
+    let mut lcg: u64 = 0xDEAD_BEEF;
+    let mut next = || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (lcg >> 33) as usize
+    };
+    while sessions.iter().any(|s| !s.done) {
+        let open: Vec<usize> =
+            (0..sessions.len()).filter(|&i| !sessions[i].done).collect();
+        let i = open[next() % open.len()];
+        let client = &mut clients[i % 4];
+        let (turn, points) = client.ask(&sessions[i].id).unwrap();
+        let values: Vec<f64> = points.iter().map(|x| sessions[i].p.eval(x)).collect();
+        let done = client.tell(&sessions[i].id, turn, &values).unwrap();
+        sessions[i].done = done;
+    }
+
+    for s in &sessions {
+        let want = reference_line(&s.p, &s.cfg);
+        let got = clients[0].record(&s.id).unwrap();
+        assert_eq!(got, want, "session {} was perturbed by interleaving", s.id);
+    }
+
+    clients[0].shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Satellite #3 (fuzz leg) — malformed frames of every kind get typed
+/// error responses; the connection stays up and a live session on the
+/// same daemon is unharmed.
+#[test]
+fn protocol_fuzz_yields_typed_errors_and_harms_nothing() {
+    let server = Server::bind(Arc::new(Registry::in_memory()), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).unwrap();
+
+    let (p, cfg) = session_cfg(AlgorithmKind::RandomSearch, 21, 2, 2);
+    let want = reference_line(&p, &cfg);
+    client.create("live", &cfg).unwrap();
+    let (turn0, points0) = client.ask("live").unwrap();
+
+    let q = points0.len();
+    let fuzz: Vec<(String, &str)> = vec![
+        ("{not json".into(), "malformed_json"),
+        ("[1,2,3]".into(), "unsupported_proto"),
+        ("{\"proto\":99,\"op\":\"ask\",\"id\":\"live\"}".into(), "unsupported_proto"),
+        ("{\"proto\":1,\"op\":\"warp\",\"id\":\"live\"}".into(), "unknown_op"),
+        ("{\"proto\":1,\"op\":\"ask\",\"id\":\"ghost\"}".into(), "unknown_session"),
+        (proto::encode_tell("live", turn0, &vec![1.0; q + 3]), "wrong_point_count"),
+        (proto::encode_tell("live", turn0 + 7, &vec![1.0; q]), "wrong_turn"),
+        (proto::encode_id_op("record", "live"), "not_done"),
+        ("{\"proto\":1,\"op\":\"create\",\"id\":\"live\",\"config\":{\"bogus\":1}}".into(), "invalid_config"),
+    ];
+    for (frame, want_code) in fuzz {
+        let resp = client.raw(&frame).unwrap();
+        let code = resp
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(pbo::core::json::Json::as_str)
+            .unwrap_or("(none)");
+        assert_eq!(code, want_code, "frame {frame}");
+    }
+
+    // Same connection, same session: still drivable, still identical.
+    let mut done = false;
+    let mut pending = Some((turn0, points0));
+    while !done {
+        let (turn, points) = match pending.take() {
+            Some(x) => x,
+            None => client.ask("live").unwrap(),
+        };
+        let values: Vec<f64> = points.iter().map(|x| p.eval(x)).collect();
+        done = client.tell("live", turn, &values).unwrap();
+    }
+    assert_eq!(client.record("live").unwrap(), want);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Satellite #4 — non-finite tells route through the quarantine and
+/// constant-liar imputation machinery, and the fault counters in the
+/// final record reconcile exactly. Regression-pinned.
+#[test]
+fn nan_inf_tells_are_quarantined_imputed_and_counted() {
+    let (p, cfg) = session_cfg(AlgorithmKind::KbQEgo, 33, 2, 2);
+    let doe = cfg.budget.initial_samples;
+    let mut s = SessionState::create(cfg).unwrap();
+
+    // Healthy design.
+    let ask = s.ask().unwrap();
+    let design: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+    s.tell(ask.turn, &design).unwrap();
+
+    // Cycle 0: one NaN — quarantined, then imputed constant-liar style.
+    let ask = s.ask().unwrap();
+    s.tell(ask.turn, &[f64::NAN, p.eval(&ask.points[1])]).unwrap();
+
+    // Cycle 1: one +Inf — same path, separate counter.
+    let ask = s.ask().unwrap();
+    s.tell(ask.turn, &[p.eval(&ask.points[0]), f64::INFINITY]).unwrap();
+
+    let r = s.record().expect("2-cycle budget exhausted").clone();
+    let c0 = &r.cycles[0].faults;
+    assert_eq!((c0.nan_quarantined, c0.inf_quarantined, c0.imputed), (1, 0, 1));
+    let c1 = &r.cycles[1].faults;
+    assert_eq!((c1.nan_quarantined, c1.inf_quarantined, c1.imputed), (0, 1, 1));
+    let total = r.fault_totals();
+    assert_eq!(total.nan_quarantined, 1);
+    assert_eq!(total.inf_quarantined, 1);
+    assert_eq!(total.imputed, 2);
+    assert_eq!(total.dropped, 0);
+    // Imputed points still enter the dataset: the liar stands in.
+    assert_eq!(r.y_min.len(), doe + 4);
+    assert!(r.y_min.iter().all(|v| v.is_finite()));
+
+    // The worst finite value is the liar for cycle 0's NaN slot.
+    let liar: f64 = r.y_min[..doe + 2]
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(r.y_min[doe..doe + 2].contains(&liar));
+}
+
+/// Non-finite *design* values: failed points are dropped (not imputed)
+/// exactly as a faulty in-process DoE rank would be, and an all-failed
+/// design is a typed error that leaves the session retryable.
+#[test]
+fn nan_design_values_are_dropped_like_in_process_doe_faults() {
+    let (p, cfg) = session_cfg(AlgorithmKind::RandomSearch, 34, 1, 2);
+    let doe = cfg.budget.initial_samples;
+    let mut s = SessionState::create(cfg).unwrap();
+    let ask = s.ask().unwrap();
+    let mut values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+    values[1] = f64::NAN;
+    s.tell(ask.turn, &values).unwrap();
+    let status = s.status();
+    assert_eq!(status.n_data, doe - 1, "failed design point must be dropped");
+    while !s.is_done() {
+        let ask = s.ask().unwrap();
+        let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+        s.tell(ask.turn, &values).unwrap();
+    }
+    let r = s.record().unwrap();
+    assert_eq!(r.doe_faults.nan_quarantined, 1);
+    assert_eq!(r.doe_faults.dropped, 1);
+    assert_eq!(r.doe_size, doe - 1, "doe_size records the surviving design points");
+    assert_eq!(r.y_min.len(), doe - 1 + 2);
+}
