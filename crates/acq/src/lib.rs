@@ -31,22 +31,27 @@ pub use single::{
     optimize_single, ExpectedImprovement, ProbabilityOfImprovement, UpperConfidenceBound,
 };
 
-use pbo_gp::{GaussianProcess, PredictWorkspace};
+use pbo_gp::{PredictWorkspace, Surrogate};
 use pbo_linalg::Matrix;
 
 /// A single-point acquisition criterion (to be **maximized**).
+///
+/// Criteria see the model only through the backend-agnostic
+/// [`Surrogate`] trait, so the same EI/PI/UCB code scores dense and
+/// sparse (inducing-point) posteriors alike. Call sites holding a
+/// concrete `&GaussianProcess` coerce to `&dyn Surrogate` unchanged.
 pub trait Acquisition: Sync {
     /// Acquisition value at `x`.
-    fn value(&self, gp: &GaussianProcess, x: &[f64]) -> f64;
+    fn value(&self, gp: &dyn Surrogate, x: &[f64]) -> f64;
     /// Value and gradient at `x`.
-    fn value_grad(&self, gp: &GaussianProcess, x: &[f64]) -> (f64, Vec<f64>);
+    fn value_grad(&self, gp: &dyn Surrogate, x: &[f64]) -> (f64, Vec<f64>);
     /// Short name for logs and reports.
     fn name(&self) -> &'static str;
 
     /// [`value`](Self::value) through a reusable workspace. The analytic
     /// criteria override this with the allocation-free posterior path;
     /// the default simply forwards.
-    fn value_with(&self, gp: &GaussianProcess, x: &[f64], _ws: &mut AcqWorkspace) -> f64 {
+    fn value_with(&self, gp: &dyn Surrogate, x: &[f64], _ws: &mut AcqWorkspace) -> f64 {
         self.value(gp, x)
     }
 
@@ -56,7 +61,7 @@ pub trait Acquisition: Sync {
     /// allocations on the posterior path here.
     fn value_grad_into(
         &self,
-        gp: &GaussianProcess,
+        gp: &dyn Surrogate,
         x: &[f64],
         _ws: &mut AcqWorkspace,
         grad: &mut Vec<f64>,
@@ -69,10 +74,10 @@ pub trait Acquisition: Sync {
 
     /// Score every row of `pts` in one call. The analytic criteria
     /// override this with one batched GP prediction
-    /// ([`GaussianProcess::predict_many`]) — the raw-candidate scoring
+    /// ([`Surrogate::predict_many`]) — the raw-candidate scoring
     /// path of the multistart — matching [`value`](Self::value) to
     /// batched-summation rounding (a few ulps).
-    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+    fn value_many(&self, gp: &dyn Surrogate, pts: &Matrix, out: &mut [f64]) {
         debug_assert_eq!(out.len(), pts.rows());
         for (i, o) in out.iter_mut().enumerate() {
             *o = self.value(gp, pts.row(i));
@@ -133,17 +138,21 @@ pub struct PosteriorGrad {
     pub dsigma: Vec<f64>,
 }
 
-/// Compute [`PosteriorGrad`] at `x` in `O(n² + n d)`.
-pub fn posterior_with_grad(gp: &GaussianProcess, x: &[f64]) -> PosteriorGrad {
+/// Compute [`PosteriorGrad`] at `x` in `O(n² + n d)` for the dense
+/// backend (`O(m² + m d)` sparse, with `n` replaced by the number of
+/// support points). The posterior operator is applied through
+/// [`Surrogate::cov_solve_vec`], which the dense backend routes through
+/// its Cholesky `solve` bit-identically.
+pub fn posterior_with_grad(gp: &dyn Surrogate, x: &[f64]) -> PosteriorGrad {
     let d = gp.dim();
     debug_assert_eq!(x.len(), d);
     let kernel = gp.kernel();
-    let train = gp.train_x();
+    let train = gp.support_x();
     let n = train.rows();
     let (shift, scale) = gp.standardization();
 
     let k = kernel.cross_vec(train, x);
-    let c = gp.chol().solve(&k).expect("posterior solve");
+    let c = gp.cov_solve_vec(&k).expect("posterior solve");
     let alpha = gp.weights();
 
     let mean_std = gp.trend_std() + pbo_linalg::vec_ops::dot(&k, alpha);
@@ -190,14 +199,16 @@ pub fn posterior_with_grad(gp: &GaussianProcess, x: &[f64]) -> PosteriorGrad {
 ///
 /// The cross-covariance row, both triangular solves, and the radial
 /// gradient factors are produced in one fused kernel pass by
-/// [`GaussianProcess::posterior_parts_with`]; the per-training-point
+/// [`Surrogate::posterior_parts_with`]; the per-support-point
 /// gradient then reuses those factors instead of recomputing distances.
-/// The result lands in `ws.posterior()`.
-pub fn posterior_with_grad_ws(gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) {
+/// The result lands in `ws.posterior()`. For the sparse backend the
+/// loop runs over the `m` inducing points instead of the `n` training
+/// points (the reassociation threshold keys on the support size).
+pub fn posterior_with_grad_ws(gp: &dyn Surrogate, x: &[f64], ws: &mut AcqWorkspace) {
     let d = gp.dim();
     debug_assert_eq!(x.len(), d);
     let kernel = gp.kernel();
-    let train = gp.train_x();
+    let train = gp.support_x();
     let n = train.rows();
     let (shift, scale) = gp.standardization();
 
@@ -262,6 +273,7 @@ pub fn posterior_with_grad_ws(gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorks
 mod tests {
     use super::*;
     use pbo_gp::kernel::{Kernel, KernelType};
+    use pbo_gp::GaussianProcess;
     use pbo_linalg::Matrix;
 
     fn toy_gp() -> GaussianProcess {

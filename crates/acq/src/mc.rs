@@ -19,7 +19,7 @@
 //!    coordinates using the kernel's query-point gradients.
 
 use crate::pullback::chol_pullback;
-use pbo_gp::GaussianProcess;
+use pbo_gp::Surrogate;
 use pbo_linalg::vec_ops::dot;
 use pbo_linalg::{Cholesky, Matrix};
 use pbo_opt::multistart::{minimize_multistart, MultistartConfig};
@@ -116,21 +116,22 @@ impl QExpectedImprovement {
     /// when done).
     fn posterior_into(
         &self,
-        gp: &GaussianProcess,
+        gp: &dyn Surrogate,
         pts: &Matrix,
         ws: &mut QeiWorkspace,
     ) -> Option<Cholesky> {
         let q = self.q;
         let kernel = gp.kernel();
-        let train = gp.train_x();
+        let train = gp.support_x();
         let (shift, scale) = gp.standardization();
         let s2 = scale * scale;
         kernel.cross_matrix_into(train, pts, &mut ws.kxq); // n x q
-        // C = K_y⁻¹ K(x, pts): one blocked multi-RHS solve in place
-        // instead of q single-column solve/copy round trips.
+        // C = A K(x, pts) with A the backend's posterior operator
+        // (K_y⁻¹ dense, the Woodbury form sparse): one blocked multi-RHS
+        // solve in place instead of q single-column solve/copy trips.
         ws.c.reset_zeros(train.rows(), q);
         ws.c.as_mut_slice().copy_from_slice(ws.kxq.as_slice());
-        gp.chol().solve_matrix_in_place(&mut ws.c).ok()?;
+        gp.cov_solve_matrix_in_place(&mut ws.c).ok()?;
         let kta = ws.kxq.matvec_t(gp.weights()).expect("alpha length n");
         ws.mu.clear();
         ws.mu.extend(kta.iter().map(|v| (gp.trend_std() + v) * scale + shift));
@@ -166,7 +167,7 @@ impl QExpectedImprovement {
     }
 
     /// qEI value at a batch given as rows of `pts` (q x d).
-    pub fn value(&self, gp: &GaussianProcess, pts: &Matrix) -> f64 {
+    pub fn value(&self, gp: &dyn Surrogate, pts: &Matrix) -> f64 {
         assert_eq!(pts.rows(), self.q);
         QEI_WS.with(|w| {
             let ws = &mut *w.borrow_mut();
@@ -195,7 +196,7 @@ impl QExpectedImprovement {
     /// allocating one per call — the value-only analogue of
     /// [`Self::value_grad_flat`], used on the multistart's
     /// line-search/raw-scoring path.
-    pub fn value_flat(&self, gp: &GaussianProcess, x_flat: &[f64]) -> f64 {
+    pub fn value_flat(&self, gp: &dyn Surrogate, x_flat: &[f64]) -> f64 {
         let q = self.q;
         let d = gp.dim();
         assert_eq!(x_flat.len(), q * d);
@@ -210,7 +211,7 @@ impl QExpectedImprovement {
 
     /// qEI value and gradient with respect to the flattened batch
     /// `x = [x_1; …; x_q]` (length q·d).
-    pub fn value_grad_flat(&self, gp: &GaussianProcess, x_flat: &[f64]) -> (f64, Vec<f64>) {
+    pub fn value_grad_flat(&self, gp: &dyn Surrogate, x_flat: &[f64]) -> (f64, Vec<f64>) {
         let q = self.q;
         let d = gp.dim();
         assert_eq!(x_flat.len(), q * d);
@@ -268,7 +269,7 @@ impl QExpectedImprovement {
 
             // Chain to the batch coordinates.
             let kernel = gp.kernel();
-            let train = gp.train_x();
+            let train = gp.support_x();
             let n = train.rows();
             let alpha = gp.weights();
             let (_, scale) = gp.standardization();
@@ -336,7 +337,7 @@ pub struct QeiOutcome {
 /// Maximize q-EI over the `q·d`-dimensional joint space with multistart
 /// L-BFGS.
 pub fn optimize_qei(
-    gp: &GaussianProcess,
+    gp: &dyn Surrogate,
     qei: &QExpectedImprovement,
     bounds: &Bounds,
     warm_starts: &[Vec<Vec<f64>>],
@@ -378,6 +379,7 @@ pub fn optimize_qei(
 mod tests {
     use super::*;
     use pbo_gp::kernel::{Kernel, KernelType};
+    use pbo_gp::GaussianProcess;
     use pbo_sampling::SeedStream;
     use rand::Rng;
 

@@ -11,7 +11,7 @@
 //!   gradient `−∇μ + β ∇σ`. β defaults to the common `√2` scale.
 
 use crate::{posterior_with_grad, posterior_with_grad_ws, AcqWorkspace, Acquisition};
-use pbo_gp::GaussianProcess;
+use pbo_gp::Surrogate;
 use pbo_linalg::Matrix;
 use pbo_opt::multistart::{minimize_multistart, MultistartConfig};
 use pbo_opt::{BatchObjective, Bounds, GradObjective, OptResult};
@@ -46,12 +46,12 @@ pub struct ExpectedImprovement {
 }
 
 impl Acquisition for ExpectedImprovement {
-    fn value(&self, gp: &GaussianProcess, x: &[f64]) -> f64 {
+    fn value(&self, gp: &dyn Surrogate, x: &[f64]) -> f64 {
         let (mean, var) = gp.predict(x);
         ei_from_moments(self.f_best, mean, var.sqrt())
     }
 
-    fn value_grad(&self, gp: &GaussianProcess, x: &[f64]) -> (f64, Vec<f64>) {
+    fn value_grad(&self, gp: &dyn Surrogate, x: &[f64]) -> (f64, Vec<f64>) {
         let pg = posterior_with_grad(gp, x);
         let sigma = pg.sigma.max(1e-12);
         let u = (self.f_best - pg.mean) / sigma;
@@ -70,14 +70,14 @@ impl Acquisition for ExpectedImprovement {
         "ei"
     }
 
-    fn value_with(&self, gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
+    fn value_with(&self, gp: &dyn Surrogate, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
         let (mean, var) = gp.predict_with(x, &mut ws.pred);
         ei_from_moments(self.f_best, mean, var.sqrt())
     }
 
     fn value_grad_into(
         &self,
-        gp: &GaussianProcess,
+        gp: &dyn Surrogate,
         x: &[f64],
         ws: &mut AcqWorkspace,
         grad: &mut Vec<f64>,
@@ -92,7 +92,7 @@ impl Acquisition for ExpectedImprovement {
         (sigma * (u * cdf + pdf)).max(0.0)
     }
 
-    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+    fn value_many(&self, gp: &dyn Surrogate, pts: &Matrix, out: &mut [f64]) {
         let (means, vars) = gp.predict_many(pts);
         for (o, (m, v)) in out.iter_mut().zip(means.iter().zip(&vars)) {
             *o = ei_from_moments(self.f_best, *m, v.sqrt());
@@ -108,12 +108,12 @@ pub struct ProbabilityOfImprovement {
 }
 
 impl Acquisition for ProbabilityOfImprovement {
-    fn value(&self, gp: &GaussianProcess, x: &[f64]) -> f64 {
+    fn value(&self, gp: &dyn Surrogate, x: &[f64]) -> f64 {
         let (mean, var) = gp.predict(x);
         pi_from_moments(self.f_best, mean, var.sqrt())
     }
 
-    fn value_grad(&self, gp: &GaussianProcess, x: &[f64]) -> (f64, Vec<f64>) {
+    fn value_grad(&self, gp: &dyn Surrogate, x: &[f64]) -> (f64, Vec<f64>) {
         let pg = posterior_with_grad(gp, x);
         let sigma = pg.sigma.max(1e-12);
         let u = (self.f_best - pg.mean) / sigma;
@@ -132,14 +132,14 @@ impl Acquisition for ProbabilityOfImprovement {
         "pi"
     }
 
-    fn value_with(&self, gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
+    fn value_with(&self, gp: &dyn Surrogate, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
         let (mean, var) = gp.predict_with(x, &mut ws.pred);
         pi_from_moments(self.f_best, mean, var.sqrt())
     }
 
     fn value_grad_into(
         &self,
-        gp: &GaussianProcess,
+        gp: &dyn Surrogate,
         x: &[f64],
         ws: &mut AcqWorkspace,
         grad: &mut Vec<f64>,
@@ -159,7 +159,7 @@ impl Acquisition for ProbabilityOfImprovement {
         normal::cdf(u)
     }
 
-    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+    fn value_many(&self, gp: &dyn Surrogate, pts: &Matrix, out: &mut [f64]) {
         let (means, vars) = gp.predict_many(pts);
         for (o, (m, v)) in out.iter_mut().zip(means.iter().zip(&vars)) {
             *o = pi_from_moments(self.f_best, *m, v.sqrt());
@@ -181,12 +181,12 @@ impl Default for UpperConfidenceBound {
 }
 
 impl Acquisition for UpperConfidenceBound {
-    fn value(&self, gp: &GaussianProcess, x: &[f64]) -> f64 {
+    fn value(&self, gp: &dyn Surrogate, x: &[f64]) -> f64 {
         let (mean, var) = gp.predict(x);
         -mean + self.beta * var.sqrt()
     }
 
-    fn value_grad(&self, gp: &GaussianProcess, x: &[f64]) -> (f64, Vec<f64>) {
+    fn value_grad(&self, gp: &dyn Surrogate, x: &[f64]) -> (f64, Vec<f64>) {
         let pg = posterior_with_grad(gp, x);
         let value = -pg.mean + self.beta * pg.sigma;
         let grad = pg
@@ -202,14 +202,14 @@ impl Acquisition for UpperConfidenceBound {
         "ucb"
     }
 
-    fn value_with(&self, gp: &GaussianProcess, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
+    fn value_with(&self, gp: &dyn Surrogate, x: &[f64], ws: &mut AcqWorkspace) -> f64 {
         let (mean, var) = gp.predict_with(x, &mut ws.pred);
         -mean + self.beta * var.sqrt()
     }
 
     fn value_grad_into(
         &self,
-        gp: &GaussianProcess,
+        gp: &dyn Surrogate,
         x: &[f64],
         ws: &mut AcqWorkspace,
         grad: &mut Vec<f64>,
@@ -226,7 +226,7 @@ impl Acquisition for UpperConfidenceBound {
         -pg.mean + self.beta * pg.sigma
     }
 
-    fn value_many(&self, gp: &GaussianProcess, pts: &Matrix, out: &mut [f64]) {
+    fn value_many(&self, gp: &dyn Surrogate, pts: &Matrix, out: &mut [f64]) {
         let (means, vars) = gp.predict_many(pts);
         for (o, (m, v)) in out.iter_mut().zip(means.iter().zip(&vars)) {
             *o = -m + self.beta * v.sqrt();
@@ -245,7 +245,7 @@ thread_local! {
 /// per-thread workspaces for the allocation-free posterior path and
 /// batched raw-candidate scoring through [`Acquisition::value_many`].
 struct NegAcq<'a> {
-    gp: &'a GaussianProcess,
+    gp: &'a dyn Surrogate,
     acq: &'a dyn Acquisition,
 }
 
@@ -297,7 +297,7 @@ impl BatchObjective for NegAcq<'_> {
 /// result is bit-identical for any thread count (see
 /// `pbo_opt::multistart`).
 pub fn optimize_single(
-    gp: &GaussianProcess,
+    gp: &dyn Surrogate,
     acq: &dyn Acquisition,
     bounds: &Bounds,
     warm_starts: &[Vec<f64>],
@@ -313,6 +313,7 @@ pub fn optimize_single(
 mod tests {
     use super::*;
     use pbo_gp::kernel::{Kernel, KernelType};
+    use pbo_gp::GaussianProcess;
     use pbo_linalg::Matrix;
 
     fn gp_1d() -> GaussianProcess {

@@ -13,14 +13,16 @@ use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine, FantasyKind};
 use crate::record::RunRecord;
 use pbo_acq::single::{optimize_single, ExpectedImprovement};
-use pbo_gp::GaussianProcess;
+use pbo_gp::FantasySurrogate;
 use pbo_opt::Bounds;
 use pbo_problems::Problem;
 
 /// Build one Kriging-Believer batch of `q` candidates. Returns the
-/// batch plus the summed multistart restart shortfall.
-pub fn kb_batch(
-    gp: &GaussianProcess,
+/// batch plus the summed multistart restart shortfall. Generic over the
+/// surrogate backend: the believer's sequential conditioning costs
+/// O(n²) per fantasy on the dense GP and O(m²) on the sparse one.
+pub fn kb_batch<S: FantasySurrogate>(
+    gp: &S,
     bounds: &Bounds,
     q: usize,
     cfg: &AlgoConfig,
@@ -33,7 +35,7 @@ pub fn kb_batch(
         let f_best = model.best_observed(false);
         let ei = ExpectedImprovement { f_best };
         let ms = acq_multistart(cfg, seed.wrapping_add(i as u64));
-        let r = optimize_single(&model, &ei, bounds, &[], &ms);
+        let r = optimize_single(&model as &dyn pbo_gp::Surrogate, &ei, bounds, &[], &ms);
         shortfall += r.restart_shortfall;
         if i + 1 < q {
             // Fantasy conditioning (the believer by default; constant

@@ -26,6 +26,7 @@ use crate::record::RunRecord;
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
 use pbo_acq::mc::{optimize_qei, QExpectedImprovement};
 use pbo_acq::single::{optimize_single, ExpectedImprovement};
+use pbo_gp::Surrogate;
 use rand::Rng;
 
 /// Per-algorithm cycle stepper. Holds exactly the state that survives
@@ -102,7 +103,7 @@ impl BatchStepper {
                 let bounds = e.unit_bounds();
                 let cfg = e.cfg().clone();
                 let acq_seed = e.seeds().fork(0xACC).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 let mut batch = e.charge_acquisition(1, || {
                     super::kb_qego::kb_batch(&gp, &bounds, q, &cfg, acq_seed)
                 });
@@ -115,7 +116,7 @@ impl BatchStepper {
                 let bounds = e.unit_bounds();
                 let cfg = e.cfg().clone();
                 let acq_seed = e.seeds().fork(0xACC).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 let mut batch = e.charge_acquisition(1, || {
                     super::mic_qego::mic_batch(&gp, &bounds, q, &cfg, acq_seed)
                 });
@@ -128,7 +129,7 @@ impl BatchStepper {
                 let bounds = e.unit_bounds();
                 let cfg = e.cfg().clone();
                 let acq_seed = e.seeds().fork(0xACC).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 let f_best = gp.best_observed(false);
                 let mut batch = e.charge_acquisition(1, || {
                     if q == 1 {
@@ -157,7 +158,7 @@ impl BatchStepper {
                 let q = e.q();
                 let cfg = e.cfg().clone();
                 let acq_seed = e.seeds().fork(0xACC).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 let f_best = gp.best_observed(false);
                 let leaves = tree.leaves();
                 let cells: Vec<pbo_opt::Bounds> =
@@ -201,7 +202,7 @@ impl BatchStepper {
                 let q = e.q();
                 let cfg = e.cfg().clone();
                 let acq_seed = e.seeds().fork(0xACC).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 let f_best_min = e.best_min();
                 *f_best_before = f_best_min;
                 let center = e.best_x_unit();
@@ -233,7 +234,7 @@ impl BatchStepper {
                 let q = e.q();
                 let cfg = e.cfg().clone();
                 let acq_seed = e.seeds().fork(0xACC).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 let f_best_min = e.best_min();
                 *f_best_before = f_best_min;
                 let center = e.best_x_unit();
@@ -260,7 +261,7 @@ impl BatchStepper {
                 let n_cand = e.cfg().acq.thompson_candidates;
                 let cycle_tag = 0xACC + e.cycle_index() as u64;
                 let acq_seed = e.seeds().fork(cycle_tag).next_seed();
-                let gp = e.gp().clone();
+                let gp = e.model().clone();
                 // No inner optimization → no restart shortfall to
                 // report.
                 let mut batch = e.charge_acquisition(1, || {

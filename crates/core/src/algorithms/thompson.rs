@@ -11,7 +11,7 @@
 use crate::budget::Budget;
 use crate::engine::{AlgoConfig, Engine};
 use crate::record::RunRecord;
-use pbo_gp::GaussianProcess;
+use pbo_gp::Surrogate;
 use pbo_linalg::{Cholesky, Matrix};
 use pbo_problems::Problem;
 use pbo_sampling::{normal, sobol::Sobol};
@@ -19,9 +19,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Build one Thompson batch of `q` candidates from `n_cand` Sobol
-/// candidates.
+/// candidates. Works on any surrogate backend: only the joint posterior
+/// over the candidate set is needed.
 pub fn thompson_batch(
-    gp: &GaussianProcess,
+    gp: &dyn Surrogate,
     q: usize,
     n_cand: usize,
     seed: u64,
@@ -81,6 +82,7 @@ pub fn run(problem: &dyn Problem, budget: Budget, cfg: AlgoConfig, seed: u64) ->
 mod tests {
     use super::*;
     use pbo_gp::kernel::{Kernel, KernelType};
+    use pbo_gp::GaussianProcess;
     use pbo_problems::SyntheticFn;
 
     fn toy_gp() -> GaussianProcess {

@@ -14,6 +14,31 @@ use crate::error::{at_least_one, non_negative, positive, ConfigError};
 use crate::exec::FtPolicy;
 use pbo_gp::FitConfig;
 
+/// Which surrogate backend [`crate::engine::Engine::fit_model`] builds
+/// each cycle.
+///
+/// `Dense` is the paper's exact GP (`O(n³)` fit). `Sparse` switches to
+/// the inducing-point backend ([`pbo_gp::SparseGaussianProcess`],
+/// `O(n m²)` fit / `O(m²)` predict) once the dataset reaches
+/// `switch_at` observations; below the threshold the engine runs the
+/// dense path bit-identically to a `Dense` configuration, so existing
+/// seeded trajectories are unchanged until the switch actually fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateBackend {
+    /// Exact dense GP on all `n` observations (the paper's setting).
+    #[default]
+    Dense,
+    /// Inducing-point sparse GP once the dataset is large enough.
+    Sparse {
+        /// Inducing-point budget (greedy pivoted-Cholesky selection may
+        /// stop earlier if the kernel matrix is numerically low-rank).
+        m: usize,
+        /// Dataset size at which the engine switches backends. Must be
+        /// at least `m` so the selection always has enough candidates.
+        switch_at: usize,
+    },
+}
+
 /// How the Kriging-Believer loop fills in not-yet-simulated values
 /// (Ginsbourger et al. discuss all three; the paper uses the believer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +115,9 @@ pub struct AlgoConfig {
     /// enabling this changes trajectories (bit-identical to a
     /// frozen-hyperparameter rebuild, not to a warm refit).
     pub incremental_updates: bool,
+    /// Surrogate backend: exact dense GP, or inducing-point sparse with
+    /// an auto-switch threshold.
+    pub surrogate: SurrogateBackend,
     /// Single-point acquisition settings.
     pub acq: AcqConfig,
     /// Joint Monte-Carlo q-EI settings.
@@ -107,6 +135,7 @@ impl Default for AlgoConfig {
             fit: FitConfig { restarts: 2, max_iters: 40, warm_iters: 12, ..FitConfig::default() },
             full_fit_every: 10,
             incremental_updates: false,
+            surrogate: SurrogateBackend::default(),
             acq: AcqConfig::default(),
             qei: QeiConfig::default(),
             cost_model: CostModel::default(),
@@ -134,6 +163,14 @@ impl AlgoConfig {
         at_least_one("cfg.full_fit_every", self.full_fit_every)?;
         if self.incremental_updates && self.full_fit_every == 1 {
             return Err(ConfigError::IncrementalUpdatesNeedStableCycles);
+        }
+        if let SurrogateBackend::Sparse { m, switch_at } = self.surrogate {
+            if m < 2 {
+                return Err(ConfigError::SparseInducingTooSmall { got: m });
+            }
+            if switch_at < m {
+                return Err(ConfigError::SparseSwitchBeforeInducing { m, switch_at });
+            }
         }
         at_least_one("cfg.fit.max_iters", self.fit.max_iters)?;
         at_least_one("cfg.acq.raw_samples", self.acq.raw_samples)?;
@@ -208,6 +245,17 @@ mod tests {
         assert!(matches!(c.validate(), Err(ConfigError::InvalidFitBounds { .. })));
 
         let mut c = AlgoConfig::default();
+        c.surrogate = SurrogateBackend::Sparse { m: 1, switch_at: 100 };
+        assert_eq!(c.validate(), Err(ConfigError::SparseInducingTooSmall { got: 1 }));
+
+        let mut c = AlgoConfig::default();
+        c.surrogate = SurrogateBackend::Sparse { m: 64, switch_at: 10 };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::SparseSwitchBeforeInducing { m: 64, switch_at: 10 })
+        );
+
+        let mut c = AlgoConfig::default();
         c.ft.backoff_factor = 0.5;
         assert_eq!(c.validate(), Err(ConfigError::BackoffFactorTooSmall { got: 0.5 }));
 
@@ -225,6 +273,16 @@ mod tests {
         let mut c = AlgoConfig::default();
         c.incremental_updates = true;
         c.full_fit_every = 2;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn sparse_backend_with_sane_thresholds_validates() {
+        let mut c = AlgoConfig::default();
+        c.surrogate = SurrogateBackend::Sparse { m: 64, switch_at: 256 };
+        c.validate().unwrap();
+        // switch_at == m is the earliest legal switch point.
+        c.surrogate = SurrogateBackend::Sparse { m: 64, switch_at: 64 };
         c.validate().unwrap();
     }
 

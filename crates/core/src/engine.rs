@@ -32,7 +32,7 @@ use crate::error::ConfigError;
 use crate::exec::{evaluate_batch_ft_observed, BatchReport};
 use crate::observe::{Event, Observer};
 use crate::record::{CycleRecord, FaultCounters, RunRecord};
-use pbo_gp::{fit, FitWorkspace, GaussianProcess};
+use pbo_gp::{fit, FitWorkspace, GaussianProcess, SparseGaussianProcess, Surrogate, SurrogateModel};
 use pbo_linalg::Matrix;
 use pbo_opt::Bounds;
 use pbo_problems::Problem;
@@ -40,7 +40,7 @@ use pbo_sampling::{lhs, SeedStream};
 use rand::Rng;
 use std::time::Instant;
 
-pub use crate::config::{AcqConfig, AlgoConfig, FantasyKind, QeiConfig};
+pub use crate::config::{AcqConfig, AlgoConfig, FantasyKind, QeiConfig, SurrogateBackend};
 
 /// Construct an event and hand it to the observer — but only when one
 /// is installed and enabled, so disabled runs never pay for event
@@ -121,7 +121,9 @@ pub struct Engine<'a> {
     x: Matrix,
     /// Minimization-oriented targets.
     y: Vec<f64>,
-    gp: Option<GaussianProcess>,
+    /// The fitted surrogate — dense below the configured switch
+    /// threshold, sparse above it.
+    model: Option<SurrogateModel>,
     /// Fitting workspace reused across cycles: distance tables are
     /// rebuilt per fit (the data grows), but the n x n matrix buffers
     /// survive whenever the fitting-view shape repeats (e.g. capped
@@ -386,7 +388,7 @@ impl<'a> PreparedEngine<'a> {
             algorithm,
             x,
             y,
-            gp: None,
+            model: None,
             fit_ws: FitWorkspace::new(),
             cycles: Vec::new(),
             cycle_start_split: (0.0, 0.0, 0.0),
@@ -523,9 +525,23 @@ impl<'a> Engine<'a> {
         (&self.x, &self.y)
     }
 
-    /// The current GP (must be fitted first).
+    /// The current dense GP (must be fitted first). Panics when the
+    /// engine is running the sparse backend — backend-agnostic callers
+    /// should use [`Engine::model`] instead.
     pub fn gp(&self) -> &GaussianProcess {
-        self.gp.as_ref().expect("fit_model must be called before gp()")
+        match self.model.as_ref().expect("fit_model must be called before gp()") {
+            SurrogateModel::Dense(g) => g,
+            SurrogateModel::Sparse(_) => panic!(
+                "gp() is dense-only and the engine is running the sparse backend; \
+                 use Engine::model() for backend-agnostic access"
+            ),
+        }
+    }
+
+    /// The current surrogate, whichever backend is active (must be
+    /// fitted first).
+    pub fn model(&self) -> &SurrogateModel {
+        self.model.as_ref().expect("fit_model must be called before model()")
     }
 
     /// True while the stopping rule allows another cycle.
@@ -556,16 +572,52 @@ impl<'a> Engine<'a> {
     pub fn fit_model(&mut self) {
         self.begin_cycle();
         let (f0, _, _) = self.cycle_start_split;
-        let full = self.gp.is_none() || self.cycle_idx.is_multiple_of(self.cfg.full_fit_every);
+        let full = self.model.is_none() || self.cycle_idx.is_multiple_of(self.cfg.full_fit_every);
+        // The sparse backend takes over once the dataset reaches the
+        // configured switch threshold; below it every branch is the
+        // dense path, byte-identical to a `Dense` configuration.
+        let sparse_m = match self.cfg.surrogate {
+            SurrogateBackend::Sparse { m, switch_at } if self.y.len() >= switch_at => Some(m),
+            _ => None,
+        };
         let cfg = self.cfg.fit.clone();
         let x = self.x.clone();
         let y = self.y.clone();
-        let prev = self.gp.take();
+        let prev = self.model.take();
         let mut seeds = self.seeds.fork(0xF17 + self.cycle_idx as u64);
         let mut ws = std::mem::take(&mut self.fit_ws);
         let wall = Instant::now();
         let fitted = self.clock.charge(TimeCategory::Fit, || {
-            if full {
+            if let Some(m) = sparse_m {
+                let stub = fit::FitReport { mll: f64::NAN, evals: 0, starts: 0 };
+                if full {
+                    let warm = prev.as_ref().map(|g| (g.kernel().clone(), g.noise()));
+                    fit::fit_sparse_with(
+                        &x,
+                        &y,
+                        &cfg,
+                        m,
+                        warm.as_ref().map(|(k, n)| (k, *n)),
+                        &mut seeds,
+                        &mut ws,
+                    )
+                    .map(|(g, rep)| (SurrogateModel::Sparse(g), rep))
+                } else if let Some(sg) = prev.as_ref().and_then(SurrogateModel::as_sparse) {
+                    // Non-full sparse cycle: hyperparameters and the
+                    // inducing basis stay frozen; the new observations
+                    // enter through the O(m²q) Woodbury append.
+                    let k = sg.n();
+                    let xs_new: Vec<Vec<f64>> = (k..y.len()).map(|i| x.row(i).to_vec()).collect();
+                    sg.condition_on(&xs_new, &y[k..]).map(|g| (SurrogateModel::Sparse(g), stub))
+                } else {
+                    // Dense → sparse transition on a non-full cycle:
+                    // rebuild in sparse form with the previous
+                    // hyperparameters frozen until the next full fit.
+                    let prev = prev.as_ref().expect("non-full cycle requires a model");
+                    SparseGaussianProcess::new(x.clone(), &y, prev.kernel().clone(), prev.noise(), m)
+                        .map(|g| (SurrogateModel::Sparse(g), stub))
+                }
+            } else if full {
                 let warm = prev.as_ref().map(|g| (g.kernel().clone(), g.noise()));
                 fit::fit_with(
                     &x,
@@ -575,23 +627,32 @@ impl<'a> Engine<'a> {
                     &mut seeds,
                     &mut ws,
                 )
+                .map(|(g, rep)| (SurrogateModel::Dense(g), rep))
             } else if self.cfg.incremental_updates {
                 // Hyperparameter-stable cycle: append only the rows that
                 // arrived since the model was built. `update` falls back
                 // to a frozen-hyperparameter rebuild internally if the
                 // factor extension fails, so the surrogate is identical
                 // either way.
-                let prev = prev.as_ref().expect("incremental update requires a model");
+                let prev = prev
+                    .as_ref()
+                    .and_then(SurrogateModel::as_dense)
+                    .expect("incremental update requires a dense model");
                 let k = prev.n();
                 let xs_new: Vec<Vec<f64>> = (k..y.len()).map(|i| x.row(i).to_vec()).collect();
-                prev.update(&xs_new, &y[k..])
-                    .map(|g| (g, fit::FitReport { mll: f64::NAN, evals: 0, starts: 0 }))
+                prev.update(&xs_new, &y[k..]).map(|g| {
+                    (SurrogateModel::Dense(g), fit::FitReport { mll: f64::NAN, evals: 0, starts: 0 })
+                })
             } else {
-                let prev = prev.as_ref().expect("warm refit requires a model");
+                let prev = prev
+                    .as_ref()
+                    .and_then(SurrogateModel::as_dense)
+                    .expect("warm refit requires a dense model");
                 // Rebuild on the full data with the previous hypers, then
                 // take a few warm L-BFGS steps.
                 GaussianProcess::new(x.clone(), &y, prev.kernel().clone(), prev.noise())
                     .and_then(|g| fit::refit_warm_with(&g, &cfg, &mut seeds, &mut ws))
+                    .map(|(g, rep)| (SurrogateModel::Dense(g), rep))
             }
         });
         let wall_ns = wall.elapsed().as_nanos() as u64;
@@ -600,7 +661,7 @@ impl<'a> Engine<'a> {
         let cycle = self.cycle_idx;
         match fitted {
             Ok((g, rep)) => {
-                self.gp = Some(g);
+                self.model = Some(g);
                 let virtual_s = self.clock.split().0 - f0;
                 emit(&mut self.observer, || Event::FitCompleted {
                     cycle,
@@ -615,12 +676,13 @@ impl<'a> Engine<'a> {
                 });
             }
             Err(_) => {
-                // Last-resort fallback: default kernel, larger noise.
+                // Last-resort fallback: default kernel, larger noise,
+                // dense regardless of backend (it must always build).
                 let kernel = pbo_gp::kernel::Kernel::new(cfg.family, self.x.cols());
-                self.gp = Some(
+                self.model = Some(SurrogateModel::Dense(
                     GaussianProcess::new(self.x.clone(), &self.y, kernel, 1e-2)
                         .expect("fallback GP must build"),
-                );
+                ));
                 let virtual_s = self.clock.split().0 - f0;
                 emit(&mut self.observer, || Event::FitCompleted {
                     cycle,

@@ -29,6 +29,7 @@
 
 use crate::gp::GaussianProcess;
 use crate::kernel::{Kernel, KernelType};
+use crate::sparse::SparseGaussianProcess;
 use crate::workspace::{mll_and_grad_ws, mll_value_ws, FitWorkspace};
 use crate::{GpError, Result};
 use pbo_linalg::vec_ops::{dot, mean, variance};
@@ -297,6 +298,25 @@ pub fn fit_with(
     seeds: &mut SeedStream,
     workspace: &mut FitWorkspace,
 ) -> Result<(GaussianProcess, FitReport)> {
+    let (kernel, noise, report) = fit_hypers_with(x, y, cfg, warm, seeds, workspace)?;
+    let gp = GaussianProcess::new(x.clone(), y, kernel, noise)?;
+    Ok((gp, report))
+}
+
+/// The hyperparameter half of [`fit_with`]: run the full multi-start
+/// MLL optimization and return the winning kernel + noise without
+/// building a predictor. [`fit_with`] layers the dense
+/// [`GaussianProcess`] on top; [`fit_sparse_with`] layers the sparse
+/// inducing-point backend instead. The optimization arithmetic and the
+/// seed-stream consumption are identical either way.
+pub fn fit_hypers_with(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &FitConfig,
+    warm: Option<(&Kernel, f64)>,
+    seeds: &mut SeedStream,
+    workspace: &mut FitWorkspace,
+) -> Result<(Kernel, f64, FitReport)> {
     let d = x.cols();
     let (fx, fy) = fitting_view(x, y, cfg, seeds);
     workspace.prepare(&fx);
@@ -338,8 +358,31 @@ pub fn fit_with(
         GpError::BadTrainingData("all hyperparameter starts failed".into())
     })?;
     let (kernel, noise) = unpack(cfg.family, &params);
-    let gp = GaussianProcess::new(x.clone(), y, kernel, noise)?;
-    Ok((gp, FitReport { mll: -neg_mll, evals, starts: starts.len() }))
+    Ok((kernel, noise, FitReport { mll: -neg_mll, evals, starts: starts.len() }))
+}
+
+/// Full fit with the **sparse inducing-point backend**: hyperparameters
+/// are optimized on a subset of at most `m` points (unless the config
+/// caps harder already — the standard inducing-scale heuristic, and the
+/// reason the fit stays `O(m³)` instead of `O(n³)`), then a
+/// [`SparseGaussianProcess`] with `m` greedily selected inducing points
+/// is built on the **full** data in `O(n m²)`.
+pub fn fit_sparse_with(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &FitConfig,
+    m: usize,
+    warm: Option<(&Kernel, f64)>,
+    seeds: &mut SeedStream,
+    workspace: &mut FitWorkspace,
+) -> Result<(SparseGaussianProcess, FitReport)> {
+    let hyper_cfg = FitConfig {
+        max_fit_points: Some(cfg.max_fit_points.unwrap_or(m).min(m)),
+        ..cfg.clone()
+    };
+    let (kernel, noise, report) = fit_hypers_with(x, y, &hyper_cfg, warm, seeds, workspace)?;
+    let gp = SparseGaussianProcess::new(x.clone(), y, kernel, noise, m)?;
+    Ok((gp, report))
 }
 
 /// Reduced-budget warm refit from the GP's current hyperparameters

@@ -49,17 +49,21 @@ pub struct GaussianProcess {
 /// data and `Send`.
 #[derive(Debug, Default, Clone)]
 pub struct PredictWorkspace {
-    /// Cross-covariance row `k(x_train, p)`.
-    k: Vec<f64>,
+    /// Cross-covariance row `k(support, p)` (the training set for the
+    /// dense backend, the inducing set for the sparse one).
+    pub(crate) k: Vec<f64>,
     /// Triangular-solve buffer; after `posterior_parts_with` it holds
-    /// `K_y⁻¹ k`.
-    c: Vec<f64>,
-    /// Radial gradient factors `s²·g(r_i)` per training point.
-    gf: Vec<f64>,
+    /// the posterior operator applied to `k` (`K_y⁻¹ k` dense).
+    pub(crate) c: Vec<f64>,
+    /// Radial gradient factors `s²·g(r_i)` per support point.
+    pub(crate) gf: Vec<f64>,
     /// Reciprocal lengthscales `1/ℓ_j`, refreshed per call on the
     /// large-system path (the same workspace serves different GPs,
     /// e.g. across fantasy refits).
-    inv_ls: Vec<f64>,
+    pub(crate) inv_ls: Vec<f64>,
+    /// Second solve buffer for the sparse backend's `B⁻¹u` term
+    /// (unused by the dense paths).
+    pub(crate) w: Vec<f64>,
 }
 
 impl PredictWorkspace {
@@ -68,11 +72,12 @@ impl PredictWorkspace {
         Self::default()
     }
 
-    fn ensure(&mut self, n: usize) {
+    pub(crate) fn ensure(&mut self, n: usize) {
         if self.k.len() != n {
             self.k.resize(n, 0.0);
             self.c.resize(n, 0.0);
             self.gf.resize(n, 0.0);
+            self.w.resize(n, 0.0);
         }
     }
 
@@ -96,8 +101,9 @@ impl PredictWorkspace {
 }
 
 /// Floor on the standardization scale so constant targets don't divide
-/// by zero.
-const MIN_SCALE: f64 = 1e-8;
+/// by zero. Shared with the sparse backend so both standardize
+/// identically.
+pub(crate) const MIN_SCALE: f64 = 1e-8;
 
 impl GaussianProcess {
     /// Build a GP on raw data with the given kernel and noise variance
@@ -260,6 +266,13 @@ impl GaussianProcess {
     /// The same kernel entries and triangular system are evaluated, so
     /// results match [`GaussianProcess::predict`] to summation-order
     /// rounding (a few ulps).
+    ///
+    /// Past [`pbo_linalg::cholesky::BIT_EXACT_MAX_N`] training points
+    /// the `‖V_:,j‖²` accumulation — the last serial hot loop in the
+    /// candidate-prescreen path — fans out over fixed row bands (see
+    /// [`banded_sq_colsums`]); at or below the cap the serial arithmetic
+    /// is byte-identical to the pre-band code, so engine-scale seeded
+    /// trajectories are unchanged.
     pub fn predict_many(&self, pts: &Matrix) -> (Vec<f64>, Vec<f64>) {
         let q = pts.rows();
         if q == 0 {
@@ -272,13 +285,7 @@ impl GaussianProcess {
             kta.iter().map(|v| (self.trend + v) * self.scale + self.shift).collect();
         // V = L^{-1} K(x, pts), then latent var_j = k(x,x) − ‖V_:,j‖².
         self.chol.solve_lower_multi_in_place(&mut kxs);
-        let mut vtv = vec![0.0; q];
-        for i in 0..kxs.rows() {
-            let row = kxs.row(i);
-            for (s, vij) in vtv.iter_mut().zip(row) {
-                *s += vij * vij;
-            }
-        }
+        let vtv = banded_sq_colsums(&kxs);
         let pv = self.kernel.prior_var();
         let s2 = self.scale * self.scale;
         let vars: Vec<f64> = vtv.iter().map(|s| (pv - s).max(1e-14) * s2).collect();
@@ -505,6 +512,53 @@ impl GaussianProcess {
                 }
             })
     }
+}
+
+/// Column sums of squares `Σᵢ v[i,j]²` of a `rows × q` matrix.
+///
+/// At or below [`pbo_linalg::cholesky::BIT_EXACT_MAX_N`] rows this is
+/// the plain serial accumulation (byte-identical to the historical
+/// `predict_many` loop). Above the cap, rows are cut into **fixed**
+/// 128-row bands — independent of the thread count — whose partial sums
+/// are computed by a worker pool and folded serially in band order, so
+/// the reassociation is decided by the band grid alone and the result
+/// is bitwise identical for any thread count (the PR-6 blocked-
+/// factorization policy). Shared by the dense and sparse batched
+/// prediction paths.
+pub(crate) fn banded_sq_colsums(v: &Matrix) -> Vec<f64> {
+    let n = v.rows();
+    let q = v.cols();
+    let mut vtv = vec![0.0; q];
+    if n <= pbo_linalg::cholesky::BIT_EXACT_MAX_N {
+        for i in 0..n {
+            for (s, vij) in vtv.iter_mut().zip(v.row(i)) {
+                *s += vij * vij;
+            }
+        }
+        return vtv;
+    }
+    const PREDICT_BAND: usize = 128;
+    let bands = n.div_ceil(PREDICT_BAND);
+    // Worker count only decides scheduling; band partials are folded in
+    // band order below either way.
+    let workers = if n * q < (1 << 21) { 1 } else { pbo_linalg::parallel::num_threads() };
+    let partials = pbo_linalg::parallel::par_map_workers(bands, workers.min(bands), |b| {
+        let lo = b * PREDICT_BAND;
+        let hi = (lo + PREDICT_BAND).min(n);
+        let mut acc = vec![0.0; q];
+        for i in lo..hi {
+            for (s, vij) in acc.iter_mut().zip(v.row(i)) {
+                *s += vij * vij;
+            }
+        }
+        acc
+    });
+    for part in &partials {
+        for (s, p) in vtv.iter_mut().zip(part) {
+            *s += p;
+        }
+    }
+    vtv
 }
 
 /// Closed-form profiled constant trend and the resulting weights.

@@ -3,9 +3,9 @@
 
 use pbo_core::json::Json;
 use pbo_core::session::SessionState;
-use pbo_server::cli::{self, Cmd, DriveOpts, ServeOpts, StatusOpts};
+use pbo_server::cli::{self, Cmd, DriveOpts, GcOpts, ServeOpts, StatusOpts};
 use pbo_server::client::{drive, Client};
-use pbo_server::registry::Registry;
+use pbo_server::registry::{GcPolicy, Registry};
 use pbo_server::server::Server;
 use std::sync::Arc;
 
@@ -27,6 +27,7 @@ fn main() {
         Cmd::Status(opts) => status(opts),
         Cmd::Drive(opts) => run_drive(opts),
         Cmd::Validate { dir } => validate(&dir),
+        Cmd::Gc(opts) => gc(opts),
     };
     if let Err(e) = result {
         eprintln!("pbo-server: {e}");
@@ -118,6 +119,24 @@ fn run_drive(opts: DriveOpts) -> Result<(), String> {
         }
         (None, None) => {}
     }
+    Ok(())
+}
+
+fn gc(opts: GcOpts) -> Result<(), String> {
+    let registry = Registry::open(&opts.dir)?;
+    let policy =
+        GcPolicy { max_age_secs: opts.max_age_secs, keep_newest: opts.keep.unwrap_or(0) };
+    let report = registry.gc(&policy);
+    for id in &report.evicted {
+        println!("evicted {id}");
+    }
+    println!(
+        "{} evicted, {} kept, {} quarantined-corrupt kept (dir: {})",
+        report.evicted.len(),
+        report.kept,
+        report.quarantined_kept,
+        opts.dir.display()
+    );
     Ok(())
 }
 

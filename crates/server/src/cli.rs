@@ -15,6 +15,7 @@ commands:
   status     query a running daemon
   drive      drive one session end to end (test client)
   validate   check session checkpoint files offline
+  gc         evict finished sessions' checkpoints offline
 
 serve options:
   --addr HOST:PORT   listen address (default 127.0.0.1:7341; port 0
@@ -42,7 +43,15 @@ drive options:
                      a daemon (reference for byte-for-byte diffs)
 
 validate options:
-  [DIR] | --dir DIR  checkpoint directory to scan (default pbo-sessions)";
+  [DIR] | --dir DIR  checkpoint directory to scan (default pbo-sessions)
+
+gc options:
+  --dir DIR          checkpoint directory (default pbo-sessions)
+  --max-age-secs N   keep finished sessions checkpointed within the
+                     last N seconds
+  --keep N           always keep the N newest finished sessions
+  (at least one of --max-age-secs / --keep is required; in-flight and
+  quarantined-corrupt sessions are never evicted)";
 
 /// Parsed `serve` options.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +125,17 @@ impl DriveOpts {
     }
 }
 
+/// Parsed `gc` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcOpts {
+    /// Checkpoint directory to collect.
+    pub dir: PathBuf,
+    /// Age shield: keep finished sessions at most this old (seconds).
+    pub max_age_secs: Option<u64>,
+    /// Count shield: always keep the N newest finished sessions.
+    pub keep: Option<usize>,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cmd {
@@ -130,6 +150,8 @@ pub enum Cmd {
         /// Checkpoint directory to scan.
         dir: PathBuf,
     },
+    /// `pbo-server gc`.
+    Gc(GcOpts),
     /// `pbo-server help` (or no command).
     Help,
 }
@@ -149,6 +171,7 @@ pub fn parse_args(args: &[String]) -> Result<Cmd, String> {
         "status" => parse_status(rest).map(Cmd::Status),
         "drive" => parse_drive(rest).map(Cmd::Drive),
         "validate" => parse_validate(rest),
+        "gc" => parse_gc(rest).map(Cmd::Gc),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -292,6 +315,35 @@ fn parse_validate(args: &[String]) -> Result<Cmd, String> {
     Ok(Cmd::Validate { dir })
 }
 
+fn parse_gc(args: &[String]) -> Result<GcOpts, String> {
+    let mut opts =
+        GcOpts { dir: PathBuf::from(DEFAULT_DIR), max_age_secs: None, keep: None };
+    parse_flags(args, &[], |flag, value| {
+        match flag {
+            "--dir" => opts.dir = PathBuf::from(value),
+            "--max-age-secs" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--max-age-secs: invalid seconds '{value}'"))?;
+                opts.max_age_secs = Some(n);
+            }
+            "--keep" => {
+                let n: usize =
+                    value.parse().map_err(|_| format!("--keep: invalid count '{value}'"))?;
+                opts.keep = Some(n);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    // Requiring an explicit shield keeps a bare `pbo-server gc` from
+    // deleting every finished session by default.
+    if opts.max_age_secs.is_none() && opts.keep.is_none() {
+        return Err("gc needs --max-age-secs and/or --keep".into());
+    }
+    Ok(opts)
+}
+
 /// Run the in-process reference for a drive config: the same
 /// `RunRecord` a fully remote session must reproduce byte for byte.
 pub fn run_local_reference(opts: &DriveOpts) -> Result<String, String> {
@@ -366,6 +418,31 @@ mod tests {
             panic!("expected validate")
         };
         assert_eq!(dir, PathBuf::from("y"));
+    }
+
+    #[test]
+    fn gc_requires_an_explicit_shield() {
+        let Cmd::Gc(o) = parse_args(&args(&[
+            "gc", "--dir", "tmp/g", "--max-age-secs", "3600", "--keep", "4",
+        ]))
+        .unwrap() else {
+            panic!("expected gc")
+        };
+        assert_eq!(o.dir, PathBuf::from("tmp/g"));
+        assert_eq!(o.max_age_secs, Some(3600));
+        assert_eq!(o.keep, Some(4));
+
+        let Cmd::Gc(o) = parse_args(&args(&["gc", "--keep", "0"])).unwrap() else {
+            panic!("expected gc")
+        };
+        assert_eq!(o.dir, PathBuf::from(DEFAULT_DIR));
+        assert_eq!(o.keep, Some(0));
+
+        // A bare `gc` would otherwise evict every finished session.
+        assert!(parse_args(&args(&["gc"])).is_err());
+        assert!(parse_args(&args(&["gc", "--dir", "tmp/g"])).is_err());
+        assert!(parse_args(&args(&["gc", "--max-age-secs", "soon"])).is_err());
+        assert!(parse_args(&args(&["gc", "--keep", "-1"])).is_err());
     }
 
     #[test]

@@ -283,6 +283,90 @@ impl Registry {
             .map(|_| ())
             .ok_or_else(|| ErrorBody::new("unknown_session", format!("no session '{id}'")))
     }
+
+    /// Evict finished sessions' checkpoints per `policy`: table entry
+    /// and on-disk file both go. Only `Done`-phase sessions are ever
+    /// candidates — in-flight sessions are untouched, and quarantined
+    /// (corrupt) checkpoints are *never* deleted: they hold the only
+    /// evidence of what went wrong and are reported in
+    /// [`GcReport::quarantined_kept`] instead.
+    pub fn gc(&self, policy: &GcPolicy) -> GcReport {
+        let mut report = GcReport::default();
+        let entries: Vec<(String, Arc<Mutex<SessionEntry>>)> = {
+            let table = self.sessions.lock().expect("session table poisoned");
+            table.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        // (age_secs, id) for every finished session; corrupt and
+        // in-flight entries are counted but never considered.
+        let now = std::time::SystemTime::now();
+        let mut done: Vec<(u64, String)> = Vec::new();
+        for (id, entry) in entries {
+            let guard = entry.lock().expect("session entry poisoned");
+            match &*guard {
+                SessionEntry::Corrupt { .. } => report.quarantined_kept += 1,
+                SessionEntry::Live(s) if s.is_done() => {
+                    let age = self
+                        .checkpoint_path(&id)
+                        .and_then(|p| std::fs::metadata(p).ok())
+                        .and_then(|m| m.modified().ok())
+                        .and_then(|t| now.duration_since(t).ok())
+                        .map_or(0, |d| d.as_secs());
+                    done.push((age, id));
+                }
+                SessionEntry::Live(_) => {}
+            }
+        }
+        // Newest first; ties broken by id so eviction order is
+        // deterministic on filesystems with coarse mtimes.
+        done.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (i, (age, id)) in done.into_iter().enumerate() {
+            let shielded_by_count = i < policy.keep_newest;
+            let shielded_by_age = policy.max_age_secs.is_some_and(|max| age <= max);
+            if shielded_by_count || shielded_by_age {
+                report.kept += 1;
+                continue;
+            }
+            if let Some(path) = self.checkpoint_path(&id) {
+                if let Err(e) = std::fs::remove_file(&path) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        // Leave the table entry in place: disk state and
+                        // table must not diverge.
+                        report.kept += 1;
+                        continue;
+                    }
+                }
+            }
+            self.sessions.lock().expect("session table poisoned").remove(&id);
+            self.metrics.counter("server.sessions.gc_evicted").inc();
+            report.evicted.push(id);
+        }
+        report
+    }
+}
+
+/// Eviction policy for [`Registry::gc`]. A finished session survives if
+/// it is among the `keep_newest` most recent checkpoints *or* its
+/// checkpoint is at most `max_age_secs` old; everything else finished
+/// is evicted. `max_age_secs: None` disables the age shield.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Finished sessions with a checkpoint at most this old (seconds)
+    /// are kept. `None`: age alone shields nothing.
+    pub max_age_secs: Option<u64>,
+    /// The newest N finished sessions are always kept.
+    pub keep_newest: usize,
+}
+
+/// What [`Registry::gc`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Ids whose checkpoint and table entry were removed, in eviction
+    /// order (oldest last by the sort above).
+    pub evicted: Vec<String>,
+    /// Finished sessions kept by the policy (count or age shield).
+    pub kept: usize,
+    /// Quarantined checkpoints encountered — never deleted.
+    pub quarantined_kept: usize,
 }
 
 /// Re-attach a metrics observer to a restored session by replaying its
@@ -370,6 +454,75 @@ mod tests {
         assert_eq!(uninterrupted, resumed, "resume must be bit-identical");
         let _ = std::fs::remove_dir_all(dir);
         let _ = std::fs::remove_dir_all(dir2);
+    }
+
+    /// Drive session `id` to completion through ask/tell.
+    fn finish(reg: &Registry, id: &str) {
+        let p = SyntheticFn::ackley(2);
+        loop {
+            let ask = reg.ask(id).unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            if reg.tell(id, ask.turn, &values).unwrap().done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn gc_evicts_only_finished_sessions_past_policy() {
+        let dir = tmp_dir("gc");
+        let reg = Registry::open(&dir).unwrap();
+        reg.create("done-a", cfg(1)).unwrap();
+        reg.create("done-b", cfg(2)).unwrap();
+        reg.create("inflight", cfg(3)).unwrap();
+        finish(&reg, "done-a");
+        finish(&reg, "done-b");
+        // `inflight` gets one tell but stays mid-run.
+        let p = SyntheticFn::ackley(2);
+        let ask = reg.ask("inflight").unwrap();
+        let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+        reg.tell("inflight", ask.turn, &values).unwrap();
+
+        // Keep the newest finished session; evict the other.
+        let report = reg.gc(&GcPolicy { max_age_secs: None, keep_newest: 1 });
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.quarantined_kept, 0);
+        let gone = &report.evicted[0];
+        assert!(!dir.join(format!("{gone}.session.json")).exists());
+        // In-flight session untouched, on disk and in the table.
+        assert!(dir.join("inflight.session.json").exists());
+        assert!(reg.ask("inflight").is_ok());
+        assert_eq!(reg.len(), 2);
+
+        // A generous age shield keeps the remaining finished session.
+        let report = reg.gc(&GcPolicy { max_age_secs: Some(3600), keep_newest: 0 });
+        assert!(report.evicted.is_empty());
+        assert_eq!(report.kept, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_never_silently_deletes_quarantined_checkpoints() {
+        let dir = tmp_dir("gc_corrupt");
+        let reg = Registry::open(&dir).unwrap();
+        reg.create("finished", cfg(4)).unwrap();
+        finish(&reg, "finished");
+        drop(reg);
+        // A checkpoint that fails to restore — e.g. truncated by a
+        // crashed disk — must survive any GC policy, however aggressive.
+        let bad = dir.join("bad.session.json");
+        std::fs::write(&bad, "{\"event\":\"pbo-session\",trunc").unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 2);
+        let report = reg.gc(&GcPolicy { max_age_secs: None, keep_newest: 0 });
+        // The finished session goes; the quarantined one is kept AND
+        // reported, never dropped silently.
+        assert_eq!(report.evicted, vec!["finished".to_string()]);
+        assert_eq!(report.quarantined_kept, 1);
+        assert!(bad.exists(), "quarantined checkpoint was deleted");
+        assert_eq!(reg.ask("bad").unwrap_err().code, "session_corrupt");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -2,31 +2,83 @@
 # Performance regression gate over the criterion-shim benches.
 #
 #   scripts/bench_gate.sh baseline   # record target/bench_gate/baseline.jsonl
-#   scripts/bench_gate.sh check      # re-run quick profile, fail on >15% regression
+#   scripts/bench_gate.sh check      # re-run same profile, fail on >15% regression
 #   scripts/bench_gate.sh smoke      # one bench run + self-check of the gate machinery
 #
+# Profiles (BENCH_GATE_PROFILE=quick|standard|full, default quick):
+#   quick     fit_scaling only, PBO_BENCH_SMOKE truncation — the ci.sh gate
+#   standard  fit_scaling + acquisition_scaling + sparse_scaling, smoke sizes
+#   full      all three families at full measurement sizes (minutes-scale;
+#             for recording the real BENCH_*.json baselines, not CI)
+#
 # The gate pins a handful of headline cases (below) and compares their
-# per-iteration minimum against the recorded baseline. `min_ns` is used
-# rather than the mean because it is the statistic least sensitive to
-# scheduler noise on a loaded host. All runs use the quick
-# PBO_BENCH_SMOKE profile: the point is catching order-of-magnitude
-# rot (an accidentally serialized hot path, a lost cache), not
-# micro-benchmarking — real measurements live in BENCH_*.json.
+# per-iteration minimum against the recorded baseline; p50/p95 are
+# reported alongside for context. `min_ns` drives the pass/fail because
+# it is the statistic least sensitive to scheduler noise on a loaded
+# host. The point is catching order-of-magnitude rot (an accidentally
+# serialized hot path, a lost cache), not micro-benchmarking — real
+# measurements live in BENCH_*.json.
+#
+# Baselines embed an environment manifest (nproc, CPU model, rustc
+# version); `check` warns when the current host differs from the one
+# the baseline was recorded on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-check}"
+PROFILE="${BENCH_GATE_PROFILE:-quick}"
 GATE_DIR="target/bench_gate"
 BASELINE="${BENCH_GATE_BASELINE:-$GATE_DIR/baseline.jsonl}"
 TOL_PCT="${BENCH_GATE_TOL_PCT:-15}"
 
-# Headline cases; all must exist under the PBO_BENCH_SMOKE truncation.
-PINNED=(
+# Headline cases per bench family. All fit_scaling cases exist under the
+# PBO_BENCH_SMOKE truncation; the acquisition/sparse cases are chosen so
+# the same id exists in both smoke and full profiles.
+PINNED_FIT=(
   "fit_scaling/mll_grad_workspace/64"
   "fit_scaling/fit_workspace/64"
   "fit_scaling/gp_update/256q8"
   "fit_scaling/chol_blocked/512"
 )
+PINNED_ACQ=(
+  "acq_kb_q_ego/2"
+  "acq_mc_qei_joint/2"
+)
+PINNED_SPARSE=(
+  "sparse_scaling/sparse_build/1024"
+  "sparse_scaling/sparse_predict_many_q256/1024"
+)
+
+case "$PROFILE" in
+  quick)
+    BENCHES=(fit_scaling)
+    PINNED=("${PINNED_FIT[@]}")
+    SMOKE=1
+    ;;
+  standard)
+    BENCHES=(fit_scaling acquisition_scaling sparse_scaling)
+    PINNED=("${PINNED_FIT[@]}" "${PINNED_ACQ[@]}" "${PINNED_SPARSE[@]}")
+    SMOKE=1
+    ;;
+  full)
+    BENCHES=(fit_scaling acquisition_scaling sparse_scaling)
+    PINNED=("${PINNED_FIT[@]}" "${PINNED_ACQ[@]}" "${PINNED_SPARSE[@]}")
+    SMOKE=0
+    ;;
+  *)
+    echo "bench_gate: unknown profile '$PROFILE' (quick|standard|full)" >&2
+    exit 2
+    ;;
+esac
+
+manifest() { # prints one JSON line describing the host + toolchain
+  local cpu="unknown"
+  if [[ -r /proc/cpuinfo ]]; then
+    cpu="$(awk -F': ' '/model name/ { print $2; exit }' /proc/cpuinfo)"
+  fi
+  printf '{"manifest":{"profile":"%s","nproc":%s,"cpu":"%s","rustc":"%s","recorded":"%s"}}\n' \
+    "$PROFILE" "$(nproc)" "$cpu" "$(rustc -V)" "$(date -u +%FT%TZ)"
+}
 
 run_benches() { # out-file
   local out="$1"
@@ -36,13 +88,38 @@ run_benches() { # out-file
   # the shim output path must be absolute.
   local out_abs
   out_abs="$(cd "$(dirname "$out")" && pwd)/$(basename "$out")"
-  PBO_BENCH_SMOKE=1 CRITERION_SHIM_OUT="$out_abs" \
-    cargo bench -q -p pbo-bench --bench fit_scaling >/dev/null
+  manifest >"$out"
+  for bench in "${BENCHES[@]}"; do
+    PBO_BENCH_SMOKE="$SMOKE" CRITERION_SHIM_OUT="$out_abs" \
+      cargo bench -q -p pbo-bench --bench "$bench" >/dev/null
+  done
 }
 
-min_ns() { # file id -> prints min_ns or nothing
+field_ns() { # file id field -> prints value or nothing
   grep -F "\"id\":\"$2\"" "$1" | tail -1 |
-    sed -E 's/.*"min_ns":([0-9.eE+-]+).*/\1/'
+    sed -En "s/.*\"$3\":([0-9.eE+-]+).*/\1/p"
+}
+
+min_ns() { field_ns "$1" "$2" min_ns; }
+
+show_manifest() { # file label
+  local line
+  line="$(grep -F '"manifest"' "$1" | tail -1 || true)"
+  [[ -n "$line" ]] && echo "bench_gate: $2 environment: $line"
+}
+
+check_manifest_drift() { # baseline-file
+  local base_line cur_line
+  base_line="$(grep -F '"manifest"' "$1" | tail -1 || true)"
+  [[ -z "$base_line" ]] && return 0 # pre-manifest baseline: nothing to compare
+  cur_line="$(manifest)"
+  # Compare everything except the timestamp.
+  local strip='s/,"recorded":"[^"]*"//'
+  if [[ "$(sed "$strip" <<<"$base_line")" != "$(sed "$strip" <<<"$cur_line")" ]]; then
+    echo "bench_gate: WARNING — baseline was recorded on a different environment:" >&2
+    echo "  baseline: $base_line" >&2
+    echo "  current:  $cur_line" >&2
+  fi
 }
 
 require_pinned() { # file
@@ -59,9 +136,11 @@ require_pinned() { # file
 compare() { # baseline-file current-file
   local fail=0
   for id in "${PINNED[@]}"; do
-    local base cur
+    local base cur p50 p95
     base="$(min_ns "$1" "$id")"
     cur="$(min_ns "$2" "$id")"
+    p50="$(field_ns "$2" "$id" p50_ns)"
+    p95="$(field_ns "$2" "$id" p95_ns)"
     if [[ -z "$base" || -z "$cur" ]]; then
       echo "bench_gate: '$id' missing (baseline='$base' current='$cur')" >&2
       fail=1
@@ -69,10 +148,11 @@ compare() { # baseline-file current-file
     fi
     if awk -v b="$base" -v c="$cur" -v tol="$TOL_PCT" \
         'BEGIN { exit !(c <= b * (1 + tol / 100)) }'; then
-      printf 'bench_gate: OK   %-40s %12.0f -> %12.0f ns\n' "$id" "$base" "$cur"
+      printf 'bench_gate: OK   %-44s %12.0f -> %12.0f ns (p50 %s, p95 %s)\n' \
+        "$id" "$base" "$cur" "${p50:-?}" "${p95:-?}"
     else
-      printf 'bench_gate: FAIL %-40s %12.0f -> %12.0f ns (>%s%% slower)\n' \
-        "$id" "$base" "$cur" "$TOL_PCT" >&2
+      printf 'bench_gate: FAIL %-44s %12.0f -> %12.0f ns (>%s%% slower; p50 %s, p95 %s)\n' \
+        "$id" "$base" "$cur" "$TOL_PCT" "${p50:-?}" "${p95:-?}" >&2
       fail=1
     fi
   done
@@ -83,13 +163,15 @@ case "$MODE" in
   baseline)
     run_benches "$BASELINE"
     require_pinned "$BASELINE"
-    echo "bench_gate: baseline recorded at $BASELINE"
+    show_manifest "$BASELINE" baseline
+    echo "bench_gate: baseline ($PROFILE profile) recorded at $BASELINE"
     ;;
   check)
     if [[ ! -f "$BASELINE" ]]; then
       echo "bench_gate: no baseline at $BASELINE — run 'scripts/bench_gate.sh baseline' first" >&2
       exit 1
     fi
+    check_manifest_drift "$BASELINE"
     current="$GATE_DIR/current.jsonl"
     run_benches "$current"
     compare "$BASELINE" "$current"
@@ -102,10 +184,10 @@ case "$MODE" in
     run_benches "$smoke_out"
     require_pinned "$smoke_out"
     compare "$smoke_out" "$smoke_out"
-    echo "bench_gate: smoke passed."
+    echo "bench_gate: smoke ($PROFILE profile) passed."
     ;;
   *)
-    echo "usage: scripts/bench_gate.sh [baseline|check|smoke]" >&2
+    echo "usage: [BENCH_GATE_PROFILE=quick|standard|full] scripts/bench_gate.sh [baseline|check|smoke]" >&2
     exit 2
     ;;
 esac

@@ -37,6 +37,7 @@ if [[ "${1:-}" != "--quick" ]]; then
   # full measurement run.
   echo "== bench smoke (PBO_BENCH_SMOKE=1) =="
   PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench acquisition_scaling
+  PBO_BENCH_SMOKE=1 cargo bench -q -p pbo-bench --bench sparse_scaling
 
   # fit_scaling runs inside the regression gate's smoke mode, which
   # also validates the baseline-capture/compare plumbing.

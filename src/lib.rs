@@ -64,7 +64,9 @@ pub mod prelude {
         run_algorithm, run_algorithm_observed, run_algorithm_with, AlgorithmKind,
     };
     pub use crate::core::budget::{Budget, Stopping};
-    pub use crate::core::config::{AcqConfig, AlgoConfig, FantasyKind, QeiConfig};
+    pub use crate::core::config::{
+        AcqConfig, AlgoConfig, FantasyKind, QeiConfig, SurrogateBackend,
+    };
     pub use crate::core::engine::{Engine, EngineBuilder};
     pub use crate::core::error::ConfigError;
     pub use crate::core::exec::FtPolicy;

@@ -11,7 +11,7 @@
 
 use pbo::core::algorithms::{run_algorithm_with, AlgorithmKind};
 use pbo::core::budget::Budget;
-use pbo::core::engine::AlgoConfig;
+use pbo::core::engine::{AlgoConfig, SurrogateBackend};
 use pbo::core::exec::FtPolicy;
 use pbo::core::record::RunRecord;
 use pbo::problems::fault::{silence_injected_panics, FaultPlan, FaultyProblem};
@@ -292,6 +292,109 @@ fn factor_extension_matches_from_scratch_below_bit_exact_max_n() {
     assert_eq!(ext.jitter().to_bits(), direct.jitter().to_bits());
     for (x, y) in ext.l().as_slice().iter().zip(direct.l().as_slice()) {
         assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sparse-surrogate determinism: the inducing-point backend assembles
+// its n×m cross-kernel blocks through `pbo_linalg::parallel`
+// (per-row-pure chunking) and selects inducing points with a serial
+// greedy pivoted Cholesky. Both must be bitwise independent of the
+// compute-thread count, at the model level and through a full
+// engine-driven run with the `Sparse` backend switched on.
+// ---------------------------------------------------------------------
+
+/// Deterministic d-dimensional point cloud in the unit cube.
+fn cloud(n: usize, d: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    let t = (i * d + j) as f64;
+                    ((t * 0.613).sin() * 0.5 + 0.5).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn sparse_fit_is_bit_identical_for_any_thread_count() {
+    use pbo::gp::kernel::{Kernel, KernelType};
+    use pbo::gp::SparseGaussianProcess;
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let (n, d, m) = (600usize, 4usize, 64usize);
+    let rows = cloud(n, d);
+    let x = pbo::linalg::Matrix::from_rows(&rows).unwrap();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| r.iter().map(|v| (v - 0.3) * (v - 0.7)).sum::<f64>())
+        .collect();
+    let mut kernel = Kernel::new(KernelType::Matern52, d);
+    kernel.lengthscales = vec![0.4; d];
+    let probes = cloud(17, d);
+    let build = || {
+        let g = SparseGaussianProcess::new(x.clone(), &y, kernel.clone(), 1e-6, m).unwrap();
+        let w: Vec<u64> = g.weights().iter().map(|v| v.to_bits()).collect();
+        let z: Vec<u64> = g.inducing_x().as_slice().iter().map(|v| v.to_bits()).collect();
+        let preds: Vec<(u64, u64)> = probes
+            .iter()
+            .map(|p| {
+                let (mu, var) = g.predict(p);
+                (mu.to_bits(), var.to_bits())
+            })
+            .collect();
+        (w, z, preds)
+    };
+    let base = at_threads(1, build);
+    for threads in [2, 6] {
+        let other = at_threads(threads, build);
+        assert_eq!(base, other, "sparse fit diverged at {threads} threads");
+    }
+}
+
+/// Test config with the sparse backend switched on from the start
+/// (`switch_at` below the DoE size so every cycle runs sparse).
+fn cfg_sparse(workers: usize) -> AlgoConfig {
+    AlgoConfig {
+        surrogate: SurrogateBackend::Sparse { m: 16, switch_at: 24 },
+        ft: FtPolicy { eval_workers: Some(workers), ..FtPolicy::default() },
+        ..AlgoConfig::test_profile()
+    }
+}
+
+fn run_sparse(algo: AlgorithmKind, seed: u64, workers: usize) -> RunRecord {
+    let p = SyntheticFn::ackley(4);
+    let budget = Budget::cycles(3, 2).with_initial_samples(30);
+    run_algorithm_with(algo, &p, &budget, cfg_sparse(workers), seed)
+}
+
+#[test]
+fn sparse_backend_runs_are_bit_identical_across_thread_counts() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    for algo in [AlgorithmKind::KbQEgo, AlgorithmKind::McQEgo, AlgorithmKind::Turbo] {
+        let base = at_threads(1, || fingerprint(&run_sparse(algo, 29, 2)));
+        for threads in [2, 6] {
+            let other = at_threads(threads, || fingerprint(&run_sparse(algo, 29, 2)));
+            assert_eq!(
+                base, other,
+                "{algo:?}: sparse 1-thread vs {threads}-thread traces diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_backend_runs_are_bit_identical_across_worker_counts() {
+    for algo in [AlgorithmKind::MicQEgo, AlgorithmKind::BspEgo] {
+        let base = fingerprint(&run_sparse(algo, 83, 1));
+        for workers in [3, 6] {
+            let other = fingerprint(&run_sparse(algo, 83, workers));
+            assert_eq!(
+                base, other,
+                "{algo:?}: sparse 1-worker vs {workers}-worker traces diverged"
+            );
+        }
     }
 }
 

@@ -233,17 +233,21 @@ fn run_one(id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
     let var = samples_ns.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n.max(1.0);
     let sd = var.sqrt();
     let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let p50 = percentile(&samples_ns, 0.50);
+    let p95 = percentile(&samples_ns, 0.95);
 
     println!(
-        "{id:<48} time: [{} ± {}] (min {}, {} samples × {} iters)",
+        "{id:<48} time: [{} ± {}] (min {}, p50 {}, p95 {}, {} samples × {} iters)",
         fmt_ns(mean),
         fmt_ns(sd),
         fmt_ns(min),
+        fmt_ns(p50),
+        fmt_ns(p95),
         samples_ns.len(),
         iters_per_sample
     );
     let json = format!(
-        "{{\"id\":\"{id}\",\"mean_ns\":{mean:.1},\"stddev_ns\":{sd:.1},\"min_ns\":{min:.1},\"samples\":{},\"iters_per_sample\":{iters_per_sample}}}",
+        "{{\"id\":\"{id}\",\"mean_ns\":{mean:.1},\"stddev_ns\":{sd:.1},\"min_ns\":{min:.1},\"p50_ns\":{p50:.1},\"p95_ns\":{p95:.1},\"samples\":{},\"iters_per_sample\":{iters_per_sample}}}",
         samples_ns.len()
     );
     println!("SHIM_JSON {json}");
@@ -253,6 +257,24 @@ fn run_one(id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
         {
             let _ = writeln!(file, "{json}");
         }
+    }
+}
+
+/// Linear-interpolated quantile over the (unsorted) sample vector.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }
 
@@ -309,5 +331,14 @@ mod tests {
         });
         g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
         g.finish();
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [30.0, 10.0, 40.0, 20.0];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 1.0), 40.0);
+        assert_eq!(percentile(&s, 0.5), 25.0);
+        assert_eq!(percentile(&s, 0.95), 38.5);
     }
 }
