@@ -122,6 +122,29 @@ fn bench_mc_qei(c: &mut Criterion) {
     g.finish();
 }
 
+/// GP-UCB-PE's batch: one UCB multistart for the leader plus q−1
+/// variance-greedy fillers from a single joint posterior — the cost
+/// that `bench_gate.sh` pins (the fillers must stay near-free relative
+/// to the leader's multistart).
+fn bench_gp_ucb_pe(c: &mut Criterion) {
+    let gp = fitted_gp(if smoke() { 48 } else { 128 });
+    let bounds = Bounds::unit(12);
+    let cfg = cfg();
+    let n_cand = cfg.acq.pe_candidates;
+    let mut g = c.benchmark_group("acq_gp_ucb_pe");
+    tune(&mut g);
+    for &q in q_grid() {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                pbo_core::algorithms::gp_ucb_pe::gp_ucb_pe_batch(&gp, &bounds, q, n_cand, &cfg, 1)
+                    .0
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
 /// BSP's 2q local EI problems, measured as total serial work (the
 /// engine divides by q workers when charging the virtual clock).
 fn bench_bsp_cells(c: &mut Criterion) {
@@ -256,6 +279,7 @@ criterion_group!(
     bench_kb,
     bench_mic,
     bench_mc_qei,
+    bench_gp_ucb_pe,
     bench_bsp_cells
 );
 criterion_main!(benches);

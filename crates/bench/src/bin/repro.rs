@@ -382,7 +382,8 @@ fn extensions(opts: &Opts) {
     println!("{:<12} | {:>10} | {:>10} | {:>8} | {:>8}", "algorithm", "mean", "sd", "cycles", "sims");
     let mut kinds = vec![AlgorithmKind::Turbo, AlgorithmKind::MicQEgo];
     kinds.extend(AlgorithmKind::extension_set());
-    for kind in kinds {
+    let mut finals: Vec<Vec<f64>> = Vec::with_capacity(kinds.len());
+    for &kind in &kinds {
         let recs: Vec<RunRecord> = (0..runs)
             .map(|r| {
                 run_algorithm_with(
@@ -405,7 +406,13 @@ fn extensions(opts: &Opts) {
             s.mean,
             s.sd
         );
+        finals.push(report::final_values(&recs));
     }
+    // Extensions vs incumbents, with the same Welch machinery as Fig 8.
+    println!("# pairwise Welch t-test p-values (final values)");
+    let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+    let p = report::pairwise_p_values(&finals);
+    println!("{}", report::format_p_matrix(&names, &p));
 }
 
 /// Artifacts that write CSV output (and therefore need `--out`).

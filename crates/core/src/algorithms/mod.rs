@@ -15,6 +15,8 @@
 //! | [`turbo`]    | MC q-EI restricted to a lengthscale-shaped trust region |
 
 pub mod bsp_ego;
+pub mod gp_ucb_pe;
+pub mod hybrid_q;
 pub mod kb_qego;
 pub mod mc_qego;
 pub mod mic_qego;
@@ -56,6 +58,15 @@ pub enum AlgorithmKind {
     /// Extension: multi-infill criteria inside a trust region — the
     /// combination the paper's discussion proposes as future work.
     MicTurbo,
+    /// Extension: GP-UCB-PE — a UCB leader plus variance-greedy
+    /// pure-exploration fillers (Contal et al. 2013); the fillers cost
+    /// no inner optimization at all.
+    GpUcbPe,
+    /// Extension: Azimi-style adaptive-q hybrid — per-cycle batch size
+    /// chosen from expected one-step improvement vs. batch degradation
+    /// (the only variable-q algorithm; see
+    /// [`BatchStepper::propose_q`]).
+    HybridQ,
 }
 
 impl AlgorithmKind {
@@ -70,6 +81,8 @@ impl AlgorithmKind {
             AlgorithmKind::RandomSearch => "random",
             AlgorithmKind::ThompsonSampling => "thompson",
             AlgorithmKind::MicTurbo => "mic-turbo",
+            AlgorithmKind::GpUcbPe => "gp-ucb-pe",
+            AlgorithmKind::HybridQ => "hybrid-q",
         }
     }
 
@@ -96,14 +109,29 @@ impl AlgorithmKind {
             "random" => AlgorithmKind::RandomSearch,
             "thompson" => AlgorithmKind::ThompsonSampling,
             "mic-turbo" => AlgorithmKind::MicTurbo,
+            "gp-ucb-pe" => AlgorithmKind::GpUcbPe,
+            "hybrid-q" => AlgorithmKind::HybridQ,
             _ => return None,
         })
     }
 
     /// The extension algorithms built on top of the paper's five
     /// (future-work directions the paper names explicitly).
-    pub fn extension_set() -> [AlgorithmKind; 2] {
-        [AlgorithmKind::ThompsonSampling, AlgorithmKind::MicTurbo]
+    pub fn extension_set() -> [AlgorithmKind; 4] {
+        [
+            AlgorithmKind::ThompsonSampling,
+            AlgorithmKind::MicTurbo,
+            AlgorithmKind::GpUcbPe,
+            AlgorithmKind::HybridQ,
+        ]
+    }
+
+    /// Whether this algorithm chooses its own batch size each cycle
+    /// ([`BatchStepper::propose_q`] may return something other than the
+    /// configured q). Serving such a session over the wire requires
+    /// protocol v2, whose `ask` reply carries the cycle's q.
+    pub fn is_variable_q(self) -> bool {
+        matches!(self, AlgorithmKind::HybridQ)
     }
 }
 
@@ -188,10 +216,22 @@ mod tests {
             AlgorithmKind::RandomSearch,
             AlgorithmKind::ThompsonSampling,
             AlgorithmKind::MicTurbo,
+            AlgorithmKind::GpUcbPe,
+            AlgorithmKind::HybridQ,
         ] {
             assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(AlgorithmKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn only_the_hybrid_is_variable_q() {
+        for kind in AlgorithmKind::paper_set() {
+            assert!(!kind.is_variable_q());
+        }
+        assert!(!AlgorithmKind::RandomSearch.is_variable_q());
+        assert!(!AlgorithmKind::GpUcbPe.is_variable_q());
+        assert!(AlgorithmKind::HybridQ.is_variable_q());
     }
 
     #[test]

@@ -62,6 +62,16 @@ pub enum BatchStepper {
     Random,
     /// Thompson-sampling batches (stateless across cycles).
     Thompson,
+    /// GP-UCB-PE: UCB leader + variance-greedy pure-exploration
+    /// fillers (stateless across cycles).
+    GpUcbPe,
+    /// Adaptive-q hybrid: the batch built by [`BatchStepper::propose_q`]
+    /// is cached here so the size decision and the proposal are one
+    /// computation — whichever of the two entry points runs first.
+    HybridQ {
+        /// The batch planned by `propose_q`, consumed by `propose`.
+        planned: Option<Vec<Vec<f64>>>,
+    },
 }
 
 impl BatchStepper {
@@ -86,6 +96,28 @@ impl BatchStepper {
                 tr: TrustRegion::new(TrustRegionConfig::default()),
                 f_best_before: f64::INFINITY,
             },
+            AlgorithmKind::GpUcbPe => BatchStepper::GpUcbPe,
+            AlgorithmKind::HybridQ => BatchStepper::HybridQ { planned: None },
+        }
+    }
+
+    /// The batch size this cycle's proposal will have. Fixed-q
+    /// algorithms (all eight incumbents and GP-UCB-PE) answer the
+    /// configured q without touching the engine; the adaptive-q hybrid
+    /// runs its acquisition process here — fit, leader EI, fantasy
+    /// growth loop — caches the resulting batch, and answers its
+    /// length, so a following [`BatchStepper::propose`] is free and
+    /// the size decision is made exactly once per cycle whichever
+    /// entry point runs first.
+    pub fn propose_q(&mut self, e: &mut Engine) -> usize {
+        match self {
+            BatchStepper::HybridQ { planned } => {
+                if planned.is_none() {
+                    *planned = Some(hybrid_propose(e));
+                }
+                planned.as_ref().map_or(0, Vec::len)
+            }
+            _ => e.q(),
         }
     }
 
@@ -270,6 +302,26 @@ impl BatchStepper {
                 e.sanitize_batch(&mut batch);
                 batch
             }
+            BatchStepper::GpUcbPe => {
+                e.fit_model();
+                let q = e.q();
+                let bounds = e.unit_bounds();
+                let cfg = e.cfg().clone();
+                let n_cand = cfg.acq.pe_candidates;
+                // Per-cycle fork like Thompson: the Sobol candidate set
+                // must be fresh each cycle.
+                let cycle_tag = 0xACC + e.cycle_index() as u64;
+                let acq_seed = e.seeds().fork(cycle_tag).next_seed();
+                let gp = e.model().clone();
+                let mut batch = e.charge_acquisition(1, || {
+                    super::gp_ucb_pe::gp_ucb_pe_batch(&gp, &bounds, q, n_cand, &cfg, acq_seed)
+                });
+                e.sanitize_batch(&mut batch);
+                batch
+            }
+            BatchStepper::HybridQ { planned } => {
+                planned.take().unwrap_or_else(|| hybrid_propose(e))
+            }
         }
     }
 
@@ -287,6 +339,25 @@ impl BatchStepper {
             _ => {}
         }
     }
+}
+
+/// The adaptive-q hybrid's pre-evaluate half, shared by
+/// [`BatchStepper::propose_q`] and [`BatchStepper::propose`]: fit,
+/// charge the leader-EI + fantasy growth loop to the acquisition clock
+/// (the telemetry event reports the batch size the loop actually
+/// chose), sanitize.
+fn hybrid_propose(e: &mut Engine) -> Vec<Vec<f64>> {
+    e.fit_model();
+    let q_max = e.q();
+    let bounds = e.unit_bounds();
+    let cfg = e.cfg().clone();
+    let acq_seed = e.seeds().fork(0xACC).next_seed();
+    let gp = e.model().clone();
+    let mut batch = e.charge_batch_acquisition(1, || {
+        super::hybrid_q::hybrid_batch(&gp, &bounds, q_max, &cfg, acq_seed)
+    });
+    e.sanitize_batch(&mut batch);
+    batch
 }
 
 /// Drive a prepared engine to budget exhaustion through the stepper —

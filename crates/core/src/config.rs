@@ -68,6 +68,14 @@ pub struct AcqConfig {
     /// Thompson sampling (extension algorithm): discrete candidate-set
     /// size per cycle.
     pub thompson_candidates: usize,
+    /// GP-UCB-PE (extension algorithm): Sobol candidate-set size for
+    /// the variance-greedy pure-exploration fillers.
+    pub pe_candidates: usize,
+    /// Adaptive-q hybrid (extension algorithm): keep growing the batch
+    /// while the fantasy-conditioned EI of the next point stays at
+    /// least `hybrid_eta` × the leader's EI. Must lie in (0, 1]; larger
+    /// values shrink batches sooner.
+    pub hybrid_eta: f64,
 }
 
 impl Default for AcqConfig {
@@ -79,6 +87,8 @@ impl Default for AcqConfig {
             kb_fantasy: FantasyKind::PosteriorMean,
             bsp_cells_factor: 2,
             thompson_candidates: 512,
+            pe_candidates: 256,
+            hybrid_eta: 0.5,
         }
     }
 }
@@ -178,6 +188,13 @@ impl AlgoConfig {
         at_least_one("cfg.qei.raw_samples", self.qei.raw_samples)?;
         at_least_one("cfg.acq.bsp_cells_factor", self.acq.bsp_cells_factor)?;
         at_least_one("cfg.acq.thompson_candidates", self.acq.thompson_candidates)?;
+        at_least_one("cfg.acq.pe_candidates", self.acq.pe_candidates)?;
+        if !(self.acq.hybrid_eta.is_finite()
+            && self.acq.hybrid_eta > 0.0
+            && self.acq.hybrid_eta <= 1.0)
+        {
+            return Err(ConfigError::HybridEtaOutOfRange { got: self.acq.hybrid_eta });
+        }
         non_negative("cfg.acq.ucb_beta", self.acq.ucb_beta)?;
         for (field, (lo, hi)) in [
             ("cfg.fit.log_ls_bounds", self.fit.log_ls_bounds),
@@ -254,6 +271,25 @@ mod tests {
             c.validate(),
             Err(ConfigError::SparseSwitchBeforeInducing { m: 64, switch_at: 10 })
         );
+
+        let mut c = AlgoConfig::default();
+        c.acq.pe_candidates = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroField { field: "cfg.acq.pe_candidates" })
+        );
+
+        let mut c = AlgoConfig::default();
+        c.acq.hybrid_eta = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::HybridEtaOutOfRange { got: 0.0 }));
+
+        let mut c = AlgoConfig::default();
+        c.acq.hybrid_eta = 1.5;
+        assert_eq!(c.validate(), Err(ConfigError::HybridEtaOutOfRange { got: 1.5 }));
+
+        let mut c = AlgoConfig::default();
+        c.acq.hybrid_eta = f64::NAN;
+        assert!(matches!(c.validate(), Err(ConfigError::HybridEtaOutOfRange { .. })));
 
         let mut c = AlgoConfig::default();
         c.ft.backoff_factor = 0.5;

@@ -429,25 +429,6 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Create the engine and evaluate the initial design (untimed).
-    #[deprecated(note = "use `Engine::builder(problem)…build()`, which validates the \
-                         configuration and supports observers")]
-    pub fn new(
-        problem: &'a dyn Problem,
-        budget: Budget,
-        cfg: AlgoConfig,
-        seed: u64,
-        algorithm: &str,
-    ) -> Self {
-        Engine::builder(problem)
-            .budget(budget)
-            .config(cfg)
-            .seed(seed)
-            .algorithm(algorithm)
-            .build()
-            .expect("invalid engine configuration")
-    }
-
     /// The algorithm configuration.
     pub fn cfg(&self) -> &AlgoConfig {
         &self.cfg
@@ -734,6 +715,40 @@ impl<'a> Engine<'a> {
         out
     }
 
+    /// [`Engine::charge_acquisition`] for variable-q algorithms: the
+    /// acquisition process itself decides the cycle's batch size, so
+    /// the [`Event::AcquisitionCompleted`] telemetry reports the batch
+    /// it actually built rather than the configured q. Fixed-q
+    /// algorithms keep using `charge_acquisition`, whose event stream
+    /// is pinned bit-identical to the pre-variable-q engine.
+    pub fn charge_batch_acquisition(
+        &mut self,
+        workers: usize,
+        work: impl FnOnce() -> (Vec<Vec<f64>>, usize),
+    ) -> Vec<Vec<f64>> {
+        let a0 = self.clock.split().1;
+        let wall = Instant::now();
+        let (batch, restart_shortfall) = if workers > 1 {
+            self.clock.charge_parallel(TimeCategory::Acquisition, workers, work)
+        } else {
+            self.clock.charge(TimeCategory::Acquisition, work)
+        };
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        let virtual_s = self.clock.split().1 - a0;
+        let cycle = self.cycle_idx;
+        let q = batch.len();
+        let algorithm = &self.algorithm;
+        emit(&mut self.observer, || Event::AcquisitionCompleted {
+            cycle,
+            algo: algorithm.clone(),
+            q,
+            restart_shortfall,
+            wall_ns,
+            virtual_s,
+        });
+        batch
+    }
+
     /// Replace batch entries that duplicate existing data or each other
     /// with random exploration points (numerical safety: exact
     /// duplicates make the kernel matrix singular and carry no
@@ -941,23 +956,6 @@ mod tests {
             .algorithm("test")
             .build()
             .unwrap()
-    }
-
-    #[test]
-    fn deprecated_new_matches_builder() {
-        let p = SyntheticFn::ackley(3);
-        let budget = Budget::cycles(1, 2).with_initial_samples(8);
-        #[allow(deprecated)]
-        let old = Engine::new(&p, budget, AlgoConfig::test_profile(), 42, "test");
-        let new = Engine::builder(&p)
-            .budget(budget)
-            .config(AlgoConfig::test_profile())
-            .seed(42)
-            .algorithm("test")
-            .build()
-            .unwrap();
-        assert_eq!(old.data().0.as_slice(), new.data().0.as_slice());
-        assert_eq!(old.data().1, new.data().1);
     }
 
     #[test]

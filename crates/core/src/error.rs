@@ -1,10 +1,9 @@
 //! Typed configuration errors surfaced by [`crate::engine::EngineBuilder`].
 //!
 //! Construction used to police its inputs with `debug_assert!` and
-//! panics scattered over `AlgoConfig`, `Budget` and `Engine::new`; the
-//! builder funnels every invalid configuration through this enum
-//! instead, so callers can branch on the failure and report it without
-//! unwinding.
+//! panics scattered over `AlgoConfig` and `Budget`; the builder
+//! funnels every invalid configuration through this enum instead, so
+//! callers can branch on the failure and report it without unwinding.
 
 use std::fmt;
 
@@ -73,6 +72,11 @@ pub enum ConfigError {
         /// Configured switch threshold (must be >= `m`).
         switch_at: usize,
     },
+    /// The adaptive-q hybrid's growth threshold must lie in (0, 1].
+    HybridEtaOutOfRange {
+        /// The offending `hybrid_eta`.
+        got: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -118,6 +122,9 @@ impl fmt::Display for ConfigError {
                     "sparse switch threshold ({switch_at}) fires before the dataset can \
                      supply m = {m} inducing candidates; need switch_at >= m"
                 )
+            }
+            ConfigError::HybridEtaOutOfRange { got } => {
+                write!(f, "acq.hybrid_eta must be finite and in (0, 1], got {got}")
             }
         }
     }

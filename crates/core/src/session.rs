@@ -40,8 +40,17 @@ use pbo_problems::Problem;
 use std::fmt;
 use std::fmt::Write as _;
 
-/// Schema version of the session checkpoint line.
-pub const SESSION_SCHEMA_VERSION: u32 = 1;
+/// Schema version of the session checkpoint line. Schema 2 added the
+/// per-turn batch sizes (`"qs"`) for the variable-q algorithms; schema
+/// 1 lines (fixed-q by construction) are still read.
+pub const SESSION_SCHEMA_VERSION: u32 = 2;
+
+/// Version of the *config descriptor* feeding the content-addressed
+/// checkpoint key. Deliberately independent of
+/// [`SESSION_SCHEMA_VERSION`]: the schema-2 line layout changed nothing
+/// about what determines a run, so schema-1 checkpoints must keep
+/// passing key validation and orchestrator keys must not churn.
+pub const CONFIG_KEY_VERSION: u32 = 1;
 
 /// Everything that can go wrong driving a session. Typed so the server
 /// can map each case to a stable protocol error code instead of
@@ -82,6 +91,21 @@ pub enum SessionError {
 }
 
 impl SessionError {
+    /// Every stable session-level wire code, in declaration order. The
+    /// server documents these (with the request-level codes) in one
+    /// table in DESIGN.md; a conformance test asserts the table is
+    /// exhaustive against this list.
+    pub const ALL_CODES: [&'static str; 8] = [
+        "invalid_config",
+        "invalid_problem",
+        "wrong_turn",
+        "wrong_point_count",
+        "finished",
+        "empty_design",
+        "session_corrupt",
+        "session_poisoned",
+    ];
+
     /// Stable machine-readable code (protocol error field).
     pub fn code(&self) -> &'static str {
         match self {
@@ -273,7 +297,7 @@ impl SessionConfig {
         };
         format!(
             "session-v{}|algo={}|problem={}|lower={:?}|upper={:?}|maximize={}|q={}|stop={}|n0={}|sim={:?}|disp={:?}|dispp={:?}|profile={}|seed={}",
-            SESSION_SCHEMA_VERSION,
+            CONFIG_KEY_VERSION,
             self.algorithm.name(),
             self.problem.name,
             self.problem.lower,
@@ -432,6 +456,11 @@ enum Phase {
 pub struct AskReply {
     /// Journal turn the next `tell` must carry.
     pub turn: usize,
+    /// This turn's batch size (= `points.len()`). Equal to the
+    /// configured q for fixed-q algorithms; the variable-q algorithms
+    /// choose it per cycle, which is why protocol v2 carries it on the
+    /// wire.
+    pub q: usize,
     /// Native-space points for the client to evaluate, in order.
     pub points: Vec<Vec<f64>>,
 }
@@ -574,7 +603,8 @@ impl SessionState {
         let turn = self.journal.len();
         match &mut self.phase {
             Phase::Design(prep) => {
-                Ok(AskReply { turn, points: prep.design_native().to_vec() })
+                let points = prep.design_native().to_vec();
+                Ok(AskReply { turn, q: points.len(), points })
             }
             Phase::Cycle { engine, stepper, pending } => {
                 if pending.is_none() {
@@ -583,7 +613,7 @@ impl SessionState {
                     *pending = Some(PendingBatch { unit, native });
                 }
                 let batch = pending.as_ref().expect("just filled");
-                Ok(AskReply { turn, points: batch.native.clone() })
+                Ok(AskReply { turn, q: batch.native.len(), points: batch.native.clone() })
             }
             Phase::Done(_) => Err(SessionError::Finished),
             Phase::Poisoned => Err(SessionError::Poisoned),
@@ -679,10 +709,16 @@ impl SessionState {
     // -----------------------------------------------------------------
 
     /// Serialize the session as one self-contained JSON line:
-    /// `{"event":"pbo-session","schema":1,"key":…,"id":…,"config":…,
-    /// "tells":[…]}`. The derived state (GP, clock, trust region) is
-    /// deliberately absent — it is recomputed by replay, which is what
-    /// makes the resume bit-identical instead of approximately restored.
+    /// `{"event":"pbo-session","schema":2,"key":…,"id":…,"config":…,
+    /// "tells":[…],"qs":[…]}`. The derived state (GP, clock, trust
+    /// region) is deliberately absent — it is recomputed by replay,
+    /// which is what makes the resume bit-identical instead of
+    /// approximately restored. `"qs"` records each turn's batch size
+    /// (design turn = design size); every tell's width is checked
+    /// against the pending batch when absorbed, so the list is
+    /// redundant with the tells by construction — recording it anyway
+    /// lets the reader reject a truncated or spliced journal before
+    /// replay, and gives variable-q turns an explicit wire trace.
     pub fn to_checkpoint_line(&self, id: &str) -> String {
         let mut out = String::with_capacity(256 + 32 * self.journal.len());
         let _ = write!(out, "{{\"event\":\"pbo-session\",\"schema\":{SESSION_SCHEMA_VERSION}");
@@ -698,6 +734,13 @@ impl SessionState {
                 out.push(',');
             }
             push_f64_array(&mut out, tell);
+        }
+        out.push_str("],\"qs\":[");
+        for (i, tell) in self.journal.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", tell.len());
         }
         out.push_str("]}");
         out
@@ -715,10 +758,13 @@ impl SessionState {
         if v.get("event").and_then(Json::as_str) != Some("pbo-session") {
             return Err(corrupt("not a pbo-session line".into()));
         }
+        // Schema 1 (pre-variable-q, no "qs") is still accepted: the
+        // per-turn batch sizes it omits are implied by the tell widths,
+        // which replay validates against each pending batch anyway.
         let schema = v.get("schema").and_then(Json::as_u64).unwrap_or(0);
-        if schema != SESSION_SCHEMA_VERSION as u64 {
+        if !(1..=SESSION_SCHEMA_VERSION as u64).contains(&schema) {
             return Err(corrupt(format!(
-                "unsupported session schema {schema} (expected {SESSION_SCHEMA_VERSION})"
+                "unsupported session schema {schema} (expected 1..={SESSION_SCHEMA_VERSION})"
             )));
         }
         let id = v
@@ -748,6 +794,23 @@ impl SessionState {
             .iter()
             .map(|t| f64_array(t).ok_or_else(|| corrupt("tells entries must be numbers".into())))
             .collect::<Result<_, _>>()?;
+        if schema >= 2 {
+            let qs: Vec<usize> = v
+                .require("qs")
+                .map_err(corrupt)?
+                .as_array()
+                .ok_or_else(|| corrupt("qs must be an array".into()))?
+                .iter()
+                .map(|q| q.as_usize().ok_or_else(|| corrupt("qs entries must be counts".into())))
+                .collect::<Result<_, _>>()?;
+            if qs.len() != tells.len()
+                || qs.iter().zip(&tells).any(|(&q, tell)| q != tell.len())
+            {
+                return Err(corrupt(format!(
+                    "qs ({qs:?}) disagree with the tell widths — truncated or spliced journal"
+                )));
+            }
+        }
         let state = replay(cfg, &tells)?;
         Ok((id, state))
     }
@@ -914,7 +977,7 @@ mod tests {
         for bad in [
             &line[..line.len() / 2],
             "not json at all",
-            &line.replace("\"schema\":1", "\"schema\":99"),
+            &line.replace("\"schema\":2", "\"schema\":99"),
             &line.replace(&s.config().key(), "0000000000000000"),
         ] {
             match SessionState::from_checkpoint_line(bad) {
@@ -923,6 +986,80 @@ mod tests {
                 Ok(_) => panic!("expected Corrupt, got Ok"),
             }
         }
+    }
+
+    #[test]
+    fn schema_1_checkpoints_without_qs_still_resume() {
+        let p = SyntheticFn::ackley(3);
+        let cfg = toy_cfg(AlgorithmKind::Turbo, 3, 2, 17);
+        let mut a = SessionState::create(cfg).unwrap();
+        for _ in 0..2 {
+            let ask = a.ask().unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            a.tell(ask.turn, &values).unwrap();
+        }
+        // Reconstruct the pre-variable-q line layout: schema 1, no
+        // "qs" field. The content-addressed key is schema-independent
+        // (CONFIG_KEY_VERSION), so it must validate unchanged.
+        let line = a.to_checkpoint_line("old");
+        let qs_start = line.find(",\"qs\":[").unwrap();
+        let qs_end = line[qs_start..].find(']').unwrap() + qs_start + 1;
+        let v1_line = format!(
+            "{}{}",
+            line[..qs_start].replace("\"schema\":2", "\"schema\":1"),
+            &line[qs_end..]
+        );
+        let (id, b) = SessionState::from_checkpoint_line(&v1_line).unwrap();
+        assert_eq!(id, "old");
+        let ra = drive_locally(a);
+        let rb = drive_locally(b);
+        assert_eq!(ra.to_json_line(), rb.to_json_line());
+    }
+
+    #[test]
+    fn qs_disagreeing_with_tell_widths_is_corrupt() {
+        let p = SyntheticFn::ackley(3);
+        let cfg = toy_cfg(AlgorithmKind::RandomSearch, 2, 2, 19);
+        let mut s = SessionState::create(cfg).unwrap();
+        let ask = s.ask().unwrap();
+        let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+        s.tell(ask.turn, &values).unwrap();
+        let line = s.to_checkpoint_line("x");
+        assert!(line.contains(",\"qs\":[6]"), "{line}");
+        for bad in [line.replace(",\"qs\":[6]", ",\"qs\":[5]"),
+                    line.replace(",\"qs\":[6]", ",\"qs\":[6,2]"),
+                    line.replace(",\"qs\":[6]", ",\"qs\":[]")] {
+            match SessionState::from_checkpoint_line(&bad) {
+                Err(SessionError::Corrupt(m)) => assert!(m.contains("qs"), "{m}"),
+                Err(other) => panic!("expected Corrupt, got {other:?}"),
+                Ok(_) => panic!("expected Corrupt, got Ok"),
+            }
+        }
+    }
+
+    #[test]
+    fn ask_reply_q_tracks_the_batch_size() {
+        let p = SyntheticFn::ackley(3);
+        let mut cfg = toy_cfg(AlgorithmKind::HybridQ, 4, 4, 7);
+        cfg.budget = Budget::cycles(4, 4).with_initial_samples(6);
+        let mut s = SessionState::create(cfg).unwrap();
+        let mut qs = Vec::new();
+        while !s.is_done() {
+            let ask = s.ask().unwrap();
+            assert_eq!(ask.q, ask.points.len());
+            qs.push(ask.q);
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            s.tell(ask.turn, &values).unwrap();
+        }
+        assert_eq!(qs[0], 6, "design turn asks the whole design");
+        // The adaptive-q hybrid must actually exercise variability
+        // somewhere in the run for the variable-q machinery to mean
+        // anything (1 <= q <= q_max always holds).
+        assert!(qs[1..].iter().all(|&q| (1..=4).contains(&q)), "{qs:?}");
+        // And the checkpoint records exactly those sizes.
+        let line = s.to_checkpoint_line("h");
+        let want: Vec<String> = qs.iter().map(|q| q.to_string()).collect();
+        assert!(line.contains(&format!(",\"qs\":[{}]", want.join(","))), "{line}");
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl Client {
         ))
     }
 
-    /// `ask`: returns `(turn, points)`.
+    /// `ask`: returns `(turn, points)`. The batch size is the number
+    /// of points — with a variable-q algorithm it changes cycle to
+    /// cycle. The proto-2 reply also carries `q` explicitly; when
+    /// present it is cross-checked against the point count so a
+    /// desynced server fails loudly instead of silently.
     pub fn ask(&mut self, id: &str) -> Result<(usize, Vec<Vec<f64>>), RpcError> {
         let v = self.call(&proto::encode_ask(id))?;
         let turn = v
@@ -113,6 +117,14 @@ impl Client {
             .map(|p| p.as_array().map(|xs| xs.iter().filter_map(Json::as_f64).collect()))
             .collect::<Option<Vec<Vec<f64>>>>()
             .ok_or_else(|| transport("ask response points malformed"))?;
+        if let Some(q) = v.get("q").and_then(Json::as_usize) {
+            if q != points.len() {
+                return Err(transport(format!(
+                    "ask response says q={q} but carries {} points",
+                    points.len()
+                )));
+            }
+        }
         Ok((turn, points))
     }
 

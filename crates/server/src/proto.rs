@@ -1,20 +1,96 @@
 //! The wire protocol: one JSON object per line, in both directions.
 //!
-//! Every request carries `"proto": 1`; a server that does not speak the
-//! requested version answers `unsupported_proto` instead of guessing.
+//! Every request carries `"proto": 1` or `"proto": 2`; a server that
+//! does not speak the requested version answers `unsupported_proto`
+//! instead of guessing. Protocol 2 (this crate's native version) adds
+//! the per-cycle batch size `q` to `ask` responses; v1 clients keep
+//! working against fixed-q sessions, but creating or asking a
+//! *variable-q* session over v1 is the typed `unsupported_version`
+//! error — a v1 client has no way to learn how many points to
+//! evaluate, so the server refuses rather than letting it desync. The
+//! `server-status` reply advertises `"protos":[1,2]` for negotiation.
+//!
 //! Responses are `{"ok":true,…}` or
-//! `{"ok":false,"error":{"code":…,"message":…}}`; the `code` values are
-//! stable API (tests pin them). Malformed input of any kind — bad
-//! JSON, wrong types, unknown ops — produces an error *response* and
-//! leaves the connection and every session untouched.
+//! `{"ok":false,"error":{"code":…,"message":…}}`. Error codes are
+//! stable API (tests pin them) and come from exactly two typed enums:
+//! [`RequestErrorKind`] for envelope/transport-level failures and
+//! [`SessionError`](pbo_core::session::SessionError) for
+//! session-state-machine failures — one table in DESIGN.md documents
+//! both, and a conformance test asserts the table is exhaustive.
+//! Malformed input of any kind — bad JSON, wrong types, unknown ops —
+//! produces an error *response* and leaves the connection and every
+//! session untouched.
 
 use pbo_core::json::{push_f64_lossless, push_str_literal, Json};
 use pbo_core::session::{SessionConfig, SessionError};
 use std::fmt;
 use std::fmt::Write as _;
 
-/// Protocol version spoken by this crate.
-pub const PROTO_VERSION: u64 = 1;
+/// Native protocol version spoken by this crate's client.
+pub const PROTO_VERSION: u64 = 2;
+
+/// Every protocol version the server accepts, oldest first.
+pub const SUPPORTED_PROTOS: [u64; 2] = [1, 2];
+
+/// Request-level failures: everything that can go wrong with the
+/// *envelope* of a request (or the server's handling of it) before any
+/// session state machine is consulted. The session-level counterpart
+/// is [`SessionError`]; between them they cover every wire code the
+/// server can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestErrorKind {
+    /// The line is not valid JSON, or a required field is missing or
+    /// mistyped.
+    MalformedJson,
+    /// The request's `proto` is not a version this server speaks.
+    UnsupportedProto,
+    /// The request's `proto` is spoken, but too old for the operation
+    /// (a variable-q session needs protocol >= 2).
+    UnsupportedVersion,
+    /// The `op` field names no known operation.
+    UnknownOp,
+    /// The session id is not filesystem-safe.
+    InvalidId,
+    /// No session with the given id is registered.
+    UnknownSession,
+    /// Idempotent re-create with a different config key.
+    ConfigMismatch,
+    /// `record` asked of a session that has not finished.
+    NotDone,
+    /// Persisting a checkpoint failed.
+    Io,
+}
+
+impl RequestErrorKind {
+    /// Every request-level wire code, in declaration order (the DESIGN
+    /// table's exhaustiveness test walks this).
+    pub const ALL: [RequestErrorKind; 9] = [
+        RequestErrorKind::MalformedJson,
+        RequestErrorKind::UnsupportedProto,
+        RequestErrorKind::UnsupportedVersion,
+        RequestErrorKind::UnknownOp,
+        RequestErrorKind::InvalidId,
+        RequestErrorKind::UnknownSession,
+        RequestErrorKind::ConfigMismatch,
+        RequestErrorKind::NotDone,
+        RequestErrorKind::Io,
+    ];
+
+    /// Stable machine-readable code (protocol error field).
+    pub fn code(self) -> &'static str {
+        match self {
+            RequestErrorKind::MalformedJson => "malformed_json",
+            RequestErrorKind::UnsupportedProto => "unsupported_proto",
+            RequestErrorKind::UnsupportedVersion => "unsupported_version",
+            RequestErrorKind::UnknownOp => "unknown_op",
+            RequestErrorKind::InvalidId => "invalid_id",
+            RequestErrorKind::UnknownSession => "unknown_session",
+            RequestErrorKind::ConfigMismatch => "config_mismatch",
+            RequestErrorKind::NotDone => "not_done",
+            RequestErrorKind::Io => "io",
+        }
+    }
+}
 
 /// A typed protocol-level failure: stable `code` plus human detail.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,9 +102,17 @@ pub struct ErrorBody {
 }
 
 impl ErrorBody {
-    /// Build from a code and message.
+    /// Build from a raw code and message. Prefer the typed
+    /// constructors ([`ErrorBody::request`], [`ErrorBody::from_session`])
+    /// — this escape hatch exists for tests and for codes that arrive
+    /// as data (e.g. re-serializing a stored error).
     pub fn new(code: &str, message: impl Into<String>) -> ErrorBody {
         ErrorBody { code: code.into(), message: message.into() }
+    }
+
+    /// Build a request-level error from its typed kind.
+    pub fn request(kind: RequestErrorKind, message: impl Into<String>) -> ErrorBody {
+        ErrorBody { code: kind.code().into(), message: message.into() }
     }
 
     /// Map a session-layer error onto the wire.
@@ -105,72 +189,82 @@ pub enum Request {
 pub fn validate_id(id: &str) -> Result<(), ErrorBody> {
     let ok_char = |c: char| c.is_ascii_alphanumeric() || c == '-' || c == '_';
     if id.is_empty() || id.len() > 64 || !id.chars().all(ok_char) {
-        return Err(ErrorBody::new(
-            "invalid_id",
+        return Err(ErrorBody::request(
+            RequestErrorKind::InvalidId,
             format!("session ids are 1-64 chars of [A-Za-z0-9_-], got '{id}'"),
         ));
     }
     Ok(())
 }
 
-/// Parse one request line. Every failure is a typed [`ErrorBody`] —
-/// the caller answers it and keeps the connection alive.
-pub fn parse_request(line: &str) -> Result<Request, ErrorBody> {
+/// Parse one request line into the negotiated protocol version and the
+/// request. Every failure is a typed [`ErrorBody`] — the caller
+/// answers it and keeps the connection alive. The returned version is
+/// one of [`SUPPORTED_PROTOS`]; dispatch uses it to gate variable-q
+/// operations and to shape the `ask` reply.
+pub fn parse_request(line: &str) -> Result<(u64, Request), ErrorBody> {
     let v = pbo_core::json::parse(line.trim())
-        .map_err(|e| ErrorBody::new("malformed_json", e))?;
-    match v.get("proto").and_then(Json::as_u64) {
-        Some(PROTO_VERSION) => {}
+        .map_err(|e| ErrorBody::request(RequestErrorKind::MalformedJson, e))?;
+    let proto = match v.get("proto").and_then(Json::as_u64) {
+        Some(p) if SUPPORTED_PROTOS.contains(&p) => p,
         other => {
-            return Err(ErrorBody::new(
-                "unsupported_proto",
-                format!("this server speaks proto {PROTO_VERSION}, request says {other:?}"),
+            return Err(ErrorBody::request(
+                RequestErrorKind::UnsupportedProto,
+                format!("this server speaks protos {SUPPORTED_PROTOS:?}, request says {other:?}"),
             ))
         }
-    }
+    };
+    let malformed = |msg: &str| ErrorBody::request(RequestErrorKind::MalformedJson, msg);
     let op = v
         .get("op")
         .and_then(Json::as_str)
-        .ok_or_else(|| ErrorBody::new("malformed_json", "missing string field 'op'"))?;
+        .ok_or_else(|| malformed("missing string field 'op'"))?;
     let id = |v: &Json| -> Result<String, ErrorBody> {
         let id = v
             .get("id")
             .and_then(Json::as_str)
-            .ok_or_else(|| ErrorBody::new("malformed_json", "missing string field 'id'"))?;
+            .ok_or_else(|| malformed("missing string field 'id'"))?;
         validate_id(id)?;
         Ok(id.to_string())
     };
-    match op {
+    let req = match op {
         "create" => {
             let config = v
                 .require("config")
                 .and_then(SessionConfig::from_json)
                 .map_err(|e| ErrorBody::new("invalid_config", e))?;
-            Ok(Request::Create { id: id(&v)?, config })
+            Request::Create { id: id(&v)?, config }
         }
-        "ask" => Ok(Request::Ask { id: id(&v)? }),
+        "ask" => Request::Ask { id: id(&v)? },
         "tell" => {
             let turn = v
                 .get("turn")
                 .and_then(Json::as_usize)
-                .ok_or_else(|| ErrorBody::new("malformed_json", "missing count field 'turn'"))?;
+                .ok_or_else(|| malformed("missing count field 'turn'"))?;
             let values = v
                 .get("values")
                 .and_then(Json::as_array)
-                .ok_or_else(|| ErrorBody::new("malformed_json", "missing array field 'values'"))?
+                .ok_or_else(|| malformed("missing array field 'values'"))?
                 .iter()
                 .map(Json::as_f64)
                 .collect::<Option<Vec<f64>>>()
-                .ok_or_else(|| ErrorBody::new("malformed_json", "'values' must be numbers"))?;
-            Ok(Request::Tell { id: id(&v)?, turn, values })
+                .ok_or_else(|| malformed("'values' must be numbers"))?;
+            Request::Tell { id: id(&v)?, turn, values }
         }
-        "status" => Ok(Request::Status { id: id(&v)? }),
-        "record" => Ok(Request::Record { id: id(&v)? }),
-        "list" => Ok(Request::List),
-        "server-status" => Ok(Request::ServerStatus),
-        "close" => Ok(Request::Close { id: id(&v)? }),
-        "shutdown" => Ok(Request::Shutdown),
-        other => Err(ErrorBody::new("unknown_op", format!("unknown op '{other}'"))),
-    }
+        "status" => Request::Status { id: id(&v)? },
+        "record" => Request::Record { id: id(&v)? },
+        "list" => Request::List,
+        "server-status" => Request::ServerStatus,
+        "close" => Request::Close { id: id(&v)? },
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(ErrorBody::request(
+                RequestErrorKind::UnknownOp,
+                format!("unknown op '{other}'"),
+            ))
+        }
+    };
+    Ok((proto, req))
 }
 
 // ---------------------------------------------------------------------
@@ -275,11 +369,34 @@ mod tests {
             (encode_bare_op("shutdown"), Request::Shutdown),
         ];
         for (line, want) in cases {
-            let got = parse_request(&line).unwrap();
+            let (proto, got) = parse_request(&line).unwrap();
+            assert_eq!(proto, PROTO_VERSION, "encoders speak the native proto");
             // NaN != NaN defeats PartialEq for the tell case; compare
             // via debug strings, which print NaN stably.
             assert_eq!(format!("{got:?}"), format!("{want:?}"), "line: {line}");
         }
+    }
+
+    #[test]
+    fn proto_1_requests_still_parse_and_report_their_version() {
+        let (proto, req) = parse_request("{\"proto\":1,\"op\":\"ask\",\"id\":\"x\"}").unwrap();
+        assert_eq!(proto, 1);
+        assert_eq!(req, Request::Ask { id: "x".into() });
+        let (proto, req) = parse_request("{\"proto\":2,\"op\":\"list\"}").unwrap();
+        assert_eq!(proto, 2);
+        assert_eq!(req, Request::List);
+    }
+
+    #[test]
+    fn every_request_error_kind_has_a_distinct_code() {
+        let codes: Vec<&str> = RequestErrorKind::ALL.iter().map(|k| k.code()).collect();
+        for (i, c) in codes.iter().enumerate() {
+            assert!(!codes[..i].contains(c), "duplicate code {c}");
+        }
+        assert_eq!(
+            ErrorBody::request(RequestErrorKind::UnsupportedVersion, "x").code,
+            "unsupported_version"
+        );
     }
 
     #[test]

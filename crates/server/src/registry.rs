@@ -13,7 +13,7 @@
 //! and every other session loads normally. Nothing panics on bad disk
 //! state.
 
-use crate::proto::{validate_id, ErrorBody};
+use crate::proto::{validate_id, ErrorBody, RequestErrorKind};
 use pbo_core::checkpoint::atomic_write;
 use pbo_core::observe::metrics::{MetricsObserver, MetricsRegistry};
 use pbo_core::session::{AskReply, SessionConfig, SessionState, SessionStatus};
@@ -151,16 +151,13 @@ impl Registry {
         let mut body = state.to_checkpoint_line(id);
         body.push('\n');
         atomic_write(&path, &body)
-            .map_err(|e| ErrorBody::new("io", format!("persist failed: {e}")))
+            .map_err(|e| ErrorBody::request(RequestErrorKind::Io, format!("persist failed: {e}")))
     }
 
     fn entry(&self, id: &str) -> Result<Arc<Mutex<SessionEntry>>, ErrorBody> {
-        self.sessions
-            .lock()
-            .expect("session table poisoned")
-            .get(id)
-            .cloned()
-            .ok_or_else(|| ErrorBody::new("unknown_session", format!("no session '{id}'")))
+        self.sessions.lock().expect("session table poisoned").get(id).cloned().ok_or_else(|| {
+            ErrorBody::request(RequestErrorKind::UnknownSession, format!("no session '{id}'"))
+        })
     }
 
     /// Run `f` on a live session; quarantined entries answer
@@ -199,8 +196,8 @@ impl Registry {
                     if have == key {
                         Ok(CreateReply { created: false, key, turn: state.turn() })
                     } else {
-                        Err(ErrorBody::new(
-                            "config_mismatch",
+                        Err(ErrorBody::request(
+                            RequestErrorKind::ConfigMismatch,
                             format!(
                                 "session '{id}' exists with config key {have}, request hashes to {key}"
                             ),
@@ -228,6 +225,13 @@ impl Registry {
         self.with_live(id, |s| s.ask().map_err(|e| ErrorBody::from_session(&e)))
     }
 
+    /// Whether the session's algorithm chooses its own batch size each
+    /// cycle. Dispatch uses this to refuse proto-1 `ask`s that could
+    /// not carry the cycle's q back to the client.
+    pub fn variable_q(&self, id: &str) -> Result<bool, ErrorBody> {
+        self.with_live(id, |s| Ok(s.config().algorithm.is_variable_q()))
+    }
+
     /// Tell a session its evaluated values; the new journal state is
     /// durable before the reply.
     pub fn tell(&self, id: &str, turn: usize, values: &[f64]) -> Result<TellReply, ErrorBody> {
@@ -248,7 +252,7 @@ impl Registry {
     pub fn record_line(&self, id: &str) -> Result<String, ErrorBody> {
         self.with_live(id, |s| {
             s.record().map(|r| r.to_json_line()).ok_or_else(|| {
-                ErrorBody::new("not_done", format!("session '{id}' has not finished"))
+                ErrorBody::request(RequestErrorKind::NotDone, format!("session '{id}' has not finished"))
             })
         })
     }
@@ -281,7 +285,9 @@ impl Registry {
             .expect("session table poisoned")
             .remove(id)
             .map(|_| ())
-            .ok_or_else(|| ErrorBody::new("unknown_session", format!("no session '{id}'")))
+            .ok_or_else(|| {
+                ErrorBody::request(RequestErrorKind::UnknownSession, format!("no session '{id}'"))
+            })
     }
 
     /// Evict finished sessions' checkpoints per `policy`: table entry

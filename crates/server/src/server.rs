@@ -7,7 +7,7 @@
 //! ends are a `shutdown` request and the process being killed — the
 //! latter is exactly what the crash/restart conformance suite does.
 
-use crate::proto::{parse_request, ErrorBody, Request};
+use crate::proto::{parse_request, ErrorBody, Request, RequestErrorKind};
 use crate::registry::Registry;
 use pbo_core::json::{push_f64_lossless, push_str_literal};
 use std::fmt::Write as _;
@@ -111,7 +111,7 @@ fn handle_connection(
 /// Serve one request line; returns the response line and whether the
 /// daemon should stop. Never panics on client input.
 pub fn dispatch(registry: &Registry, line: &str) -> (String, bool) {
-    let request = match parse_request(line) {
+    let (proto, request) = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
             registry.metrics().counter("server.errors.protocol").inc();
@@ -119,34 +119,61 @@ pub fn dispatch(registry: &Registry, line: &str) -> (String, bool) {
         }
     };
     let result: Result<String, ErrorBody> = match request {
-        Request::Create { id, config } => registry.create(&id, config).map(|r| {
-            let mut out = ok_head();
-            out.push_str(",\"id\":");
-            push_str_literal(&mut out, &id);
-            out.push_str(",\"key\":");
-            push_str_literal(&mut out, &r.key);
-            let _ = write!(out, ",\"created\":{},\"turn\":{}}}", r.created, r.turn);
-            out
-        }),
-        Request::Ask { id } => registry.ask(&id).map(|r| {
-            let mut out = ok_head();
-            let _ = write!(out, ",\"turn\":{},\"points\":[", r.turn);
-            for (i, p) in r.points.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
+        Request::Create { id, config } => {
+            // A v1 client could create a variable-q session but never
+            // learn each cycle's batch size; refuse up front.
+            if proto < 2 && config.algorithm.is_variable_q() {
+                Err(needs_proto_2(config.algorithm.name()))
+            } else {
+                registry.create(&id, config).map(|r| {
+                    let mut out = ok_head();
+                    out.push_str(",\"id\":");
+                    push_str_literal(&mut out, &id);
+                    out.push_str(",\"key\":");
+                    push_str_literal(&mut out, &r.key);
+                    let _ = write!(out, ",\"created\":{},\"turn\":{}}}", r.created, r.turn);
+                    out
+                })
+            }
+        }
+        Request::Ask { id } => {
+            // The session may predate this connection (created by a v2
+            // client, asked by a v1 one), so the gate re-checks here.
+            let gate = if proto < 2 {
+                registry.variable_q(&id).and_then(|variable| {
+                    if variable {
+                        Err(needs_proto_2(&format!("session '{id}'")))
+                    } else {
+                        Ok(())
+                    }
+                })
+            } else {
+                Ok(())
+            };
+            gate.and_then(|()| registry.ask(&id)).map(|r| {
+                let mut out = ok_head();
+                let _ = write!(out, ",\"turn\":{},", r.turn);
+                if proto >= 2 {
+                    let _ = write!(out, "\"q\":{},", r.q);
                 }
-                out.push('[');
-                for (j, v) in p.iter().enumerate() {
-                    if j > 0 {
+                out.push_str("\"points\":[");
+                for (i, p) in r.points.iter().enumerate() {
+                    if i > 0 {
                         out.push(',');
                     }
-                    push_f64_lossless(&mut out, *v);
+                    out.push('[');
+                    for (j, v) in p.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        push_f64_lossless(&mut out, *v);
+                    }
+                    out.push(']');
                 }
-                out.push(']');
-            }
-            out.push_str("]}");
-            out
-        }),
+                out.push_str("]}");
+                out
+            })
+        }
         Request::Tell { id, turn, values } => registry.tell(&id, turn, &values).map(|r| {
             let mut out = ok_head();
             let _ = write!(out, ",\"turn\":{},\"done\":{}}}", r.turn, r.done);
@@ -201,6 +228,14 @@ pub fn dispatch(registry: &Registry, line: &str) -> (String, bool) {
             let snap = registry.metrics().snapshot();
             let mut out = ok_head();
             let _ = write!(out, ",\"proto\":{}", crate::proto::PROTO_VERSION);
+            out.push_str(",\"protos\":[");
+            for (i, p) in crate::proto::SUPPORTED_PROTOS.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{p}");
+            }
+            out.push(']');
             let _ = write!(out, ",\"sessions\":{}", registry.len());
             out.push_str(",\"counters\":{");
             for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -240,6 +275,14 @@ fn ok_head() -> String {
     String::from("{\"ok\":true")
 }
 
+/// The typed refusal for variable-q work requested over protocol 1.
+fn needs_proto_2(what: &str) -> ErrorBody {
+    ErrorBody::request(
+        RequestErrorKind::UnsupportedVersion,
+        format!("{what} chooses its batch size per cycle; proto 2 is required to carry q"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +317,78 @@ mod tests {
         let (resp, stop) = dispatch(&reg, "{\"proto\":1,\"op\":\"shutdown\"}");
         assert!(stop);
         assert!(resp.contains("\"stopping\":true"));
+    }
+
+    fn variable_q_create_body(id: &str) -> String {
+        use pbo_core::algorithms::AlgorithmKind;
+        use pbo_core::budget::Budget;
+        use pbo_core::session::{ProblemSpec, SessionConfig, SessionProfile};
+        use pbo_problems::SyntheticFn;
+        let cfg = SessionConfig {
+            algorithm: AlgorithmKind::HybridQ,
+            problem: ProblemSpec::of(&SyntheticFn::ackley(2)),
+            budget: Budget::cycles(2, 2).with_initial_samples(4),
+            profile: SessionProfile::Test,
+            seed: 7,
+        };
+        let mut out = String::new();
+        cfg.encode_json(&mut out);
+        format!("\"id\":\"{id}\",\"config\":{out}}}")
+    }
+
+    fn error_code(resp: &str) -> Option<String> {
+        parse(resp)
+            .ok()?
+            .get("error")?
+            .get("code")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    }
+
+    #[test]
+    fn proto_1_cannot_create_or_ask_a_variable_q_session() {
+        let reg = Registry::in_memory();
+        let body = variable_q_create_body("vq");
+        // v1 create is refused with the pinned code…
+        let (resp, _) = dispatch(&reg, &format!("{{\"proto\":1,\"op\":\"create\",{body}"));
+        assert_eq!(error_code(&resp).as_deref(), Some("unsupported_version"));
+        assert!(reg.is_empty(), "refused create must not register a session");
+        // …a v2 create succeeds…
+        let (resp, _) = dispatch(&reg, &format!("{{\"proto\":2,\"op\":\"create\",{body}"));
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        // …and a later v1 ask against that session is refused too.
+        let (resp, _) = dispatch(&reg, "{\"proto\":1,\"op\":\"ask\",\"id\":\"vq\"}");
+        assert_eq!(error_code(&resp).as_deref(), Some("unsupported_version"));
+        let (resp, _) = dispatch(&reg, "{\"proto\":2,\"op\":\"ask\",\"id\":\"vq\"}");
+        assert!(resp.contains("\"q\":"), "v2 ask carries the batch size: {resp}");
+    }
+
+    #[test]
+    fn ask_reply_carries_q_only_on_proto_2() {
+        use pbo_core::algorithms::AlgorithmKind;
+        use pbo_core::budget::Budget;
+        use pbo_core::session::{ProblemSpec, SessionConfig, SessionProfile};
+        use pbo_problems::SyntheticFn;
+        let reg = Registry::in_memory();
+        let cfg = SessionConfig {
+            algorithm: AlgorithmKind::RandomSearch,
+            problem: ProblemSpec::of(&SyntheticFn::ackley(2)),
+            budget: Budget::cycles(2, 3).with_initial_samples(4),
+            profile: SessionProfile::Test,
+            seed: 1,
+        };
+        reg.create("s", cfg).unwrap();
+        let (v1, _) = dispatch(&reg, "{\"proto\":1,\"op\":\"ask\",\"id\":\"s\"}");
+        assert!(v1.contains("\"ok\":true") && !v1.contains("\"q\":"), "{v1}");
+        let (v2, _) = dispatch(&reg, "{\"proto\":2,\"op\":\"ask\",\"id\":\"s\"}");
+        let v = parse(&v2).unwrap();
+        assert_eq!(v.get("q").and_then(Json::as_usize), Some(4), "design batch: {v2}");
+    }
+
+    #[test]
+    fn server_status_advertises_both_protos() {
+        let reg = Registry::in_memory();
+        let (resp, _) = dispatch(&reg, "{\"proto\":1,\"op\":\"server-status\"}");
+        assert!(resp.contains("\"protos\":[1,2]"), "{resp}");
     }
 }

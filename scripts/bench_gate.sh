@@ -43,6 +43,7 @@ PINNED_FIT=(
 PINNED_ACQ=(
   "acq_kb_q_ego/2"
   "acq_mc_qei_joint/2"
+  "acq_gp_ucb_pe/2"
 )
 PINNED_SPARSE=(
   "sparse_scaling/sparse_build/1024"

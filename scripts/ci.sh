@@ -103,6 +103,28 @@ if [[ "${1:-}" != "--quick" ]]; then
   cmp "$srv/served.json" "$srv/local.json"
   rm -rf "$srv"
 
+  # Variable-q leg: the same kill -9 / restart / resume contract for a
+  # hybrid-q session, whose per-cycle batch size the proto-2 ask reply
+  # carries and the schema-2 checkpoint records (`"qs"`).
+  echo "== pbo-server smoke: variable-q (hybrid-q) kill/restart over TCP =="
+  rm -rf "$srv"; mkdir -p "$srv"
+  session=(--id ci-vq --problem ackley-3d --algo hybrid-q \
+           --cycles 4 --q 4 --init 8 --seed 7)
+  start_daemon
+  target/release/pbo-server drive --addr "$(cat "$srv/addr")" \
+    "${session[@]}" --stop-after 2 >/dev/null
+  kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
+  rm -f "$srv/addr"
+  start_daemon
+  target/release/pbo-server drive --addr "$(cat "$srv/addr")" \
+    "${session[@]}" --record-out "$srv/served.json" >/dev/null
+  target/release/pbo-server drive --local \
+    "${session[@]}" --record-out "$srv/local.json" >/dev/null
+  kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
+  cmp "$srv/served.json" "$srv/local.json"
+  grep -q '"qs":' "$srv/sessions/ci-vq.session.json"
+  rm -rf "$srv"
+
   # The public API surface is documented; rustdoc warnings (broken
   # intra-doc links, missing docs) are errors.
   echo "== cargo doc --no-deps (warnings are errors) =="

@@ -105,6 +105,31 @@ fn repeated_runs_with_same_seed_are_bit_identical() {
     assert_eq!(a, b);
 }
 
+/// PR 9's algorithms — including the variable-q hybrid, whose
+/// per-cycle batch sizing must itself be a pure function of the seeded
+/// state — replay bit-identically across eval-worker counts.
+#[test]
+fn new_batch_algorithms_are_worker_count_invariant() {
+    for algo in [AlgorithmKind::GpUcbPe, AlgorithmKind::HybridQ] {
+        let base = fingerprint(&run_clean(algo, 91, 1));
+        for workers in [2, 5] {
+            let other = fingerprint(&run_clean(algo, 91, workers));
+            assert_eq!(
+                base, other,
+                "{algo:?}: 1-worker vs {workers}-worker traces diverged"
+            );
+        }
+    }
+    // The hybrid must have actually flexed its batch size, else the
+    // variable-q leg of the invariance claim is vacuous.
+    let r = run_clean(AlgorithmKind::HybridQ, 91, 1);
+    let widths: Vec<usize> = r.cycles.iter().map(|c| c.n_evals).collect();
+    assert!(
+        widths.iter().any(|&w| w != widths[0]) || widths.iter().any(|&w| w < 2),
+        "hybrid never varied q ({widths:?}); pick a seed where it does"
+    );
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Guard against a degenerate fingerprint (e.g. everything constant).
@@ -169,6 +194,16 @@ fn same_seed_same_trace_regardless_of_thread_count_clean() {
                 "{algo:?}: 1-thread vs {threads}-thread traces diverged"
             );
         }
+    }
+}
+
+#[test]
+fn new_batch_algorithms_are_thread_count_invariant() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    for algo in [AlgorithmKind::GpUcbPe, AlgorithmKind::HybridQ] {
+        let base = at_threads(1, || fingerprint(&run_clean(algo, 53, 2)));
+        let other = at_threads(4, || fingerprint(&run_clean(algo, 53, 2)));
+        assert_eq!(base, other, "{algo:?}: 1-thread vs 4-thread traces diverged");
     }
 }
 

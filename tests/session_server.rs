@@ -15,7 +15,7 @@ use pbo_server::server::Server;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-const ALL_ALGORITHMS: [AlgorithmKind; 8] = [
+const ALL_ALGORITHMS: [AlgorithmKind; 10] = [
     AlgorithmKind::KbQEgo,
     AlgorithmKind::MicQEgo,
     AlgorithmKind::McQEgo,
@@ -24,6 +24,8 @@ const ALL_ALGORITHMS: [AlgorithmKind; 8] = [
     AlgorithmKind::MicTurbo,
     AlgorithmKind::RandomSearch,
     AlgorithmKind::ThompsonSampling,
+    AlgorithmKind::GpUcbPe,
+    AlgorithmKind::HybridQ,
 ];
 
 fn session_cfg(
@@ -152,6 +154,177 @@ fn crash_restart_matrix_resumes_bit_identically() {
         assert_eq!(got, want, "resume after cycle {k} diverged");
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+/// Variable-q crash/restart matrix: the hybrid algorithm chooses a
+/// different batch size each cycle, so the journal's per-turn widths
+/// (and the schema-2 `qs` integrity record) are load-bearing. Kill the
+/// registry after each cycle of a 10-cycle study and resume; the final
+/// record must be byte-identical to the uninterrupted run for every
+/// kill point, and the batch size must genuinely vary along the way.
+#[test]
+fn variable_q_crash_restart_matrix_resumes_bit_identically() {
+    let n_cycles = 10;
+    let p = SyntheticFn::ackley(3);
+    let cfg = SessionConfig {
+        algorithm: AlgorithmKind::HybridQ,
+        problem: ProblemSpec::of(&p),
+        budget: Budget::cycles(n_cycles, 4).with_initial_samples(8),
+        profile: SessionProfile::Test,
+        seed: 7,
+    };
+    let want = reference_line(&p, &cfg);
+
+    // Uninterrupted run through a registry, recording each ask's width.
+    let dir = tmp_dir("vq_base");
+    let reg = Registry::open(&dir).unwrap();
+    reg.create("study", cfg.clone()).unwrap();
+    let mut widths: Vec<usize> = Vec::new();
+    let uninterrupted = loop {
+        let ask = reg.ask("study").unwrap();
+        assert_eq!(ask.q, ask.points.len(), "AskReply.q must match its points");
+        widths.push(ask.points.len());
+        let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+        if reg.tell("study", ask.turn, &values).unwrap().done {
+            break reg.record_line("study").unwrap();
+        }
+    };
+    assert_eq!(uninterrupted, want, "served variable-q run diverged from in-process");
+    let cycle_widths = &widths[1..]; // widths[0] is the design batch
+    assert_eq!(cycle_widths.len(), n_cycles);
+    assert!(
+        cycle_widths.iter().any(|&w| w != cycle_widths[0]),
+        "batch size never varied ({cycle_widths:?}) — the matrix would not exercise variable q"
+    );
+    assert!(cycle_widths.iter().all(|&w| (1..=4).contains(&w)), "{cycle_widths:?}");
+    drop(reg);
+    let _ = std::fs::remove_dir_all(dir);
+
+    // Kill after the design tell + k cycle tells, for every k.
+    for k in 0..n_cycles {
+        let dir = tmp_dir(&format!("vq_matrix_{k}"));
+        let reg = Registry::open(&dir).unwrap();
+        reg.create("study", cfg.clone()).unwrap();
+        for _ in 0..=k {
+            let ask = reg.ask("study").unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            assert!(!reg.tell("study", ask.turn, &values).unwrap().done);
+        }
+        drop(reg);
+
+        let reg = Registry::open(&dir).unwrap();
+        let reply = reg.create("study", cfg.clone()).unwrap();
+        assert!(!reply.created, "restart must re-attach, not recreate");
+        assert_eq!(reply.turn, k + 1, "journal must have survived the kill");
+        let got = loop {
+            let ask = reg.ask("study").unwrap();
+            let values: Vec<f64> = ask.points.iter().map(|x| p.eval(x)).collect();
+            if reg.tell("study", ask.turn, &values).unwrap().done {
+                break reg.record_line("study").unwrap();
+            }
+        };
+        assert_eq!(got, want, "variable-q resume after cycle {k} diverged");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Protocol compatibility — a v1 client against a v2 server: fixed-q
+/// sessions drive to a byte-identical record over raw `"proto":1`
+/// frames (whose ask replies must not grow a `q` field), while any
+/// attempt to touch a variable-q session over v1 gets the pinned
+/// `unsupported_version` code.
+#[test]
+fn v1_client_against_v2_server() {
+    let server = Server::bind(Arc::new(Registry::in_memory()), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).unwrap();
+    let as_v1 = |line: String| {
+        let native = format!("{{\"proto\":{},", proto::PROTO_VERSION);
+        assert!(line.starts_with(&native), "encoder changed shape: {line}");
+        line.replacen(&native, "{\"proto\":1,", 1)
+    };
+    let get = |v: &pbo::core::json::Json, k: &str| v.get(k).cloned();
+
+    // A fixed-q session, driven entirely with proto-1 frames.
+    let (p, cfg) = session_cfg(AlgorithmKind::KbQEgo, 81, 3, 2);
+    let want = reference_line(&p, &cfg);
+    client.raw(&as_v1(proto::encode_create("legacy", &cfg))).unwrap();
+    let mut done = false;
+    while !done {
+        let resp = client.raw(&as_v1(proto::encode_ask("legacy"))).unwrap();
+        assert!(get(&resp, "q").is_none(), "proto-1 ask reply must not carry q");
+        let turn = get(&resp, "turn").and_then(|v| v.as_usize()).unwrap();
+        let points: Vec<Vec<f64>> = get(&resp, "points")
+            .and_then(|v| v.as_array().map(<[_]>::to_vec))
+            .unwrap()
+            .iter()
+            .map(|row| row.as_array().unwrap().iter().filter_map(|x| x.as_f64()).collect())
+            .collect();
+        let values: Vec<f64> = points.iter().map(|x| p.eval(x)).collect();
+        let resp = client.raw(&as_v1(proto::encode_tell("legacy", turn, &values))).unwrap();
+        done = get(&resp, "done").and_then(|v| v.as_bool()).unwrap();
+    }
+    let resp = client.raw(&as_v1(proto::encode_id_op("record", "legacy"))).unwrap();
+    let got = get(&resp, "record").and_then(|v| v.as_str().map(str::to_string)).unwrap();
+    assert_eq!(got, want, "v1 client diverged against the v2 server");
+
+    // Variable-q over v1: create refused, and ask against a session a
+    // v2 client created is refused too — both with the pinned code.
+    let (_, vq_cfg) = session_cfg(AlgorithmKind::HybridQ, 82, 2, 2);
+    let err_code = |resp: &pbo::core::json::Json| {
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(pbo::core::json::Json::as_str)
+            .map(str::to_string)
+    };
+    let resp = client.raw(&as_v1(proto::encode_create("vq", &vq_cfg))).unwrap();
+    assert_eq!(err_code(&resp).as_deref(), Some("unsupported_version"));
+    client.create("vq", &vq_cfg).unwrap(); // native (v2) create succeeds
+    let resp = client.raw(&as_v1(proto::encode_ask("vq"))).unwrap();
+    assert_eq!(err_code(&resp).as_deref(), Some("unsupported_version"));
+    // The same ask at proto 2 works and carries q.
+    let resp = client.raw(&proto::encode_ask("vq")).unwrap();
+    assert!(get(&resp, "q").and_then(|v| v.as_usize()).is_some());
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The DESIGN.md wire-code table is exhaustive in both directions:
+/// every code either typed error surface can emit appears in the
+/// table, and the table names no code that the enums do not.
+#[test]
+fn design_wire_code_table_is_exhaustive() {
+    use pbo::core::session::SessionError;
+    use pbo_server::proto::RequestErrorKind;
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("DESIGN.md must exist at the workspace root");
+    // Table rows look like `| `code` | request \| session | … |`; the
+    // code is the first backticked cell. Scan the wire-code section.
+    let section = design
+        .split("<!-- wire-code-table -->")
+        .nth(1)
+        .expect("DESIGN.md must fence the wire-code table with <!-- wire-code-table -->");
+    let mut documented: Vec<&str> = section
+        .lines()
+        .filter_map(|l| {
+            let row = l.trim().strip_prefix("| `")?;
+            row.split('`').next()
+        })
+        .collect();
+    documented.sort_unstable();
+    let mut expected: Vec<&str> = RequestErrorKind::ALL
+        .iter()
+        .map(|k| k.code())
+        .chain(SessionError::ALL_CODES)
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+    assert_eq!(
+        documented, expected,
+        "DESIGN.md wire-code table out of sync with RequestErrorKind::ALL + SessionError::ALL_CODES"
+    );
 }
 
 /// Satellite #2 (corruption leg) — a truncated checkpoint is
