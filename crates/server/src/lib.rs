@@ -12,7 +12,9 @@
 //! - [`registry`]: the multi-tenant session table — every state
 //!   transition is persisted through `pbo_core::checkpoint` so a killed
 //!   daemon resumes every session bit-identically on restart;
-//! - [`server`]: the TCP daemon (thread per connection);
+//! - [`server`]: the TCP daemon — a bounded connection-worker pool
+//!   with backpressure, idle/oversize containment and graceful drain
+//!   (DESIGN.md §14);
 //! - [`client`]: a small blocking client plus a local-evaluation drive
 //!   loop (the test client, also used by the CI smoke test);
 //! - [`cli`]: argument parsing for the `pbo-server` binary

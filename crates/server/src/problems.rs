@@ -8,7 +8,17 @@ use pbo_problems::synthetic::{SyntheticFn, SyntheticKind};
 /// Returns `None` for unknown functions, malformed names or `dim < 2`.
 pub fn resolve_problem(name: &str) -> Option<SyntheticFn> {
     let (func, dim) = name.rsplit_once('-')?;
-    let dim: usize = dim.strip_suffix('d')?.parse().ok()?;
+    let digits = dim.strip_suffix('d')?;
+    // `usize::parse` also accepts "+3" and leading zeros, which would
+    // resolve to a problem whose canonical `name()` differs from the
+    // requested one — only canonical spellings may round-trip.
+    if digits.is_empty()
+        || !digits.bytes().all(|b| b.is_ascii_digit())
+        || (digits.len() > 1 && digits.starts_with('0'))
+    {
+        return None;
+    }
+    let dim: usize = digits.parse().ok()?;
     if dim < 2 {
         return None;
     }
@@ -39,7 +49,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed_names() {
-        for bad in ["", "ackley", "ackley-3", "ackley-xd", "ackley-1d", "warp-3d", "3d"] {
+        // The last four resolve under a bare `usize::parse` (it accepts
+        // a leading `+` and leading zeros) but break the name
+        // round-trip invariant: resolve("ackley-+3d").name() would be
+        // "ackley-3d", not the requested spelling.
+        for bad in [
+            "", "ackley", "ackley-3", "ackley-xd", "ackley-1d", "warp-3d", "3d",
+            "ackley-+3d", "ackley-03d", "ackley-0d", "ackley- 3d",
+        ] {
             assert!(resolve_problem(bad).is_none(), "{bad} should not resolve");
         }
     }

@@ -59,12 +59,21 @@ pub enum RequestErrorKind {
     NotDone,
     /// Persisting a checkpoint failed.
     Io,
+    /// The live-connection cap is reached; the connection is refused
+    /// and closed. Retry shortly.
+    ServerBusy,
+    /// The request line exceeds the server's `max-line-bytes` cap; the
+    /// oversized line is discarded but the connection stays usable.
+    LineTooLong,
+    /// No complete request arrived within the server's idle timeout;
+    /// the connection is closed after this error.
+    IdleTimeout,
 }
 
 impl RequestErrorKind {
     /// Every request-level wire code, in declaration order (the DESIGN
     /// table's exhaustiveness test walks this).
-    pub const ALL: [RequestErrorKind; 9] = [
+    pub const ALL: [RequestErrorKind; 12] = [
         RequestErrorKind::MalformedJson,
         RequestErrorKind::UnsupportedProto,
         RequestErrorKind::UnsupportedVersion,
@@ -74,6 +83,9 @@ impl RequestErrorKind {
         RequestErrorKind::ConfigMismatch,
         RequestErrorKind::NotDone,
         RequestErrorKind::Io,
+        RequestErrorKind::ServerBusy,
+        RequestErrorKind::LineTooLong,
+        RequestErrorKind::IdleTimeout,
     ];
 
     /// Stable machine-readable code (protocol error field).
@@ -88,6 +100,9 @@ impl RequestErrorKind {
             RequestErrorKind::ConfigMismatch => "config_mismatch",
             RequestErrorKind::NotDone => "not_done",
             RequestErrorKind::Io => "io",
+            RequestErrorKind::ServerBusy => "server_busy",
+            RequestErrorKind::LineTooLong => "line_too_long",
+            RequestErrorKind::IdleTimeout => "idle_timeout",
         }
     }
 }

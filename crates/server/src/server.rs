@@ -1,21 +1,98 @@
-//! The TCP daemon: thread per connection, newline-delimited JSON.
+//! The TCP daemon: a bounded worker pool, newline-delimited JSON.
 //!
 //! Failure containment is the design rule: a malformed line answers a
 //! typed error and the connection lives on; a session-layer error
-//! answers a typed error and the *session* lives on; a dropped
-//! connection kills only its own thread. The only ways the accept loop
-//! ends are a `shutdown` request and the process being killed — the
-//! latter is exactly what the crash/restart conformance suite does.
+//! answers a typed error and the *session* lives on; a dropped, idle
+//! or hostile connection costs at most one worker visit. The accept
+//! loop ends on a `shutdown` request — which *drains* in-flight
+//! requests and joins every worker before [`Server::run`] returns —
+//! or on the process being killed, which is exactly what the
+//! crash/restart conformance suite does.
+//!
+//! ## Concurrency model (DESIGN.md §14)
+//!
+//! One acceptor (the thread inside `run`) feeds accepted sockets into
+//! a bounded queue served by a fixed pool of `workers` connection
+//! workers. Connections are *rotated*, not owned: a worker pops a
+//! connection, serves every request already buffered on it (up to a
+//! fairness budget), and requeues it — so N workers multiplex M ≫ N
+//! live connections without a thread per connection. Containment:
+//!
+//! - **Backpressure**: past `max_conns` live connections the acceptor
+//!   answers a typed `server_busy` error and closes — never a silent
+//!   stall, never an unbounded thread spawn.
+//! - **Idle timeout**: a connection with no complete request for
+//!   `idle_timeout` is answered a typed `idle_timeout` error and
+//!   closed, freeing its slot.
+//! - **Line cap**: a request line exceeding `max_line_bytes` is
+//!   answered a typed `line_too_long` error; the oversized line is
+//!   discarded as it streams in (bounded memory) and the connection
+//!   stays usable.
+//! - **Slow reader**: reply writes carry a write timeout; a peer that
+//!   stops reading is disconnected instead of pinning a worker.
+//!
+//! Scheduling can never perturb a session trajectory: every session
+//! transition runs under that session's own lock in the registry and
+//! depends only on the session's journal — which worker ran it, and
+//! in what order relative to *other* sessions' requests, is invisible
+//! to the state machine (the conformance soak pins this).
 
 use crate::proto::{parse_request, ErrorBody, Request, RequestErrorKind};
 use crate::registry::Registry;
 use pbo_core::json::{push_f64_lossless, push_str_literal};
+use pbo_core::observe::metrics::{Counter, Gauge};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Requests served on one connection per worker visit before it is
+/// requeued behind its peers (fairness under load).
+const VISIT_LINE_BUDGET: usize = 32;
+
+/// Bytes consumed from one connection per worker visit before it is
+/// requeued (bounds how long a streaming client can hold a worker).
+const VISIT_BYTE_BUDGET: usize = 256 * 1024;
+
+/// Read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// How long an unproductive worker sleeps between queue rotations once
+/// it has seen every queued connection yield nothing.
+const ROTATION_PAUSE: Duration = Duration::from_millis(1);
+
+/// Pool sizing and containment limits for a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Connection workers (≥ 1). Default: available parallelism.
+    pub workers: usize,
+    /// A connection with no complete request for this long is answered
+    /// a typed `idle_timeout` error and closed. Also bounds how long a
+    /// reply write may block on a non-reading peer.
+    pub idle_timeout: Duration,
+    /// Request lines beyond this many bytes are answered a typed
+    /// `line_too_long` error and discarded (bounded memory).
+    pub max_line_bytes: usize,
+    /// Live-connection cap: connections accepted past it are answered
+    /// a typed `server_busy` error and closed.
+    pub max_conns: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ServerConfig {
+            workers,
+            idle_timeout: Duration::from_secs(300),
+            max_line_bytes: 1 << 20,
+            max_conns: workers.max(1) * 64,
+        }
+    }
+}
 
 /// A bound (but not yet serving) daemon.
 pub struct Server {
@@ -23,6 +100,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
 }
 
 /// Handle to a daemon running on a background thread.
@@ -34,18 +112,40 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Wait for the daemon to exit (after a `shutdown` request).
+    /// A panicked server thread is a typed [`std::io::Error`], not a
+    /// propagated panic — the supervising caller stays alive to log,
+    /// restart or fail over.
     pub fn join(self) -> std::io::Result<()> {
-        self.handle.join().expect("server thread panicked")
+        match self.handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
     }
 }
 
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port; read the real
-    /// one back from [`Server::local_addr`]).
+    /// one back from [`Server::local_addr`]) with default
+    /// [`ServerConfig`].
     pub fn bind(registry: Arc<Registry>, addr: &str) -> std::io::Result<Server> {
+        Server::bind_with(registry, addr, ServerConfig::default())
+    }
+
+    /// Bind with an explicit pool configuration.
+    pub fn bind_with(
+        registry: Arc<Registry>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        Ok(Server { registry, listener, addr, shutdown: Arc::new(AtomicBool::new(false)) })
+        Ok(Server {
+            registry,
+            listener,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
     }
 
     /// The bound address.
@@ -53,22 +153,62 @@ impl Server {
         self.addr
     }
 
-    /// Serve until a `shutdown` request arrives. Blocking.
+    /// Serve until a `shutdown` request arrives, then drain: stop
+    /// accepting, answer every in-flight request, close every
+    /// connection and join every worker. Blocking; when it returns, no
+    /// worker thread survives.
     pub fn run(self) -> std::io::Result<()> {
+        let pool = Arc::new(Pool::new(
+            self.registry,
+            self.addr,
+            self.shutdown.clone(),
+            self.config.clone(),
+        ));
+        let workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
+            .map(|i| {
+                let pool = pool.clone();
+                std::thread::Builder::new()
+                    .name(format!("pbo-conn-worker-{i}"))
+                    .spawn(move || worker_loop(&pool))
+            })
+            .collect::<std::io::Result<_>>()?;
+
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
+            let Ok(stream) = stream else { continue };
+            pool.accepted.inc();
+            if pool.live.load(Ordering::SeqCst) >= self.config.max_conns.max(1) {
+                pool.busy_rejected.inc();
+                reject_busy(stream, self.config.max_conns);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            pool.live.fetch_add(1, Ordering::SeqCst);
+            pool.live_gauge.set(pool.live.load(Ordering::SeqCst) as f64);
+            let conn = Conn {
+                stream,
+                buf: Vec::new(),
+                scanned: 0,
+                discard: false,
+                idle_deadline: Instant::now() + self.config.idle_timeout,
             };
-            let registry = self.registry.clone();
-            let shutdown = self.shutdown.clone();
-            let addr = self.addr;
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, &registry, &shutdown, addr);
-            });
+            pool.push(conn);
+        }
+
+        // Drain: wake every worker so each one empties its share of
+        // the queue (answering buffered requests) and exits.
+        self.shutdown.store(true, Ordering::SeqCst);
+        pool.ready.notify_all();
+        let mut worker_panicked = false;
+        for w in workers {
+            worker_panicked |= w.join().is_err();
+        }
+        if worker_panicked {
+            return Err(std::io::Error::other("a connection worker panicked"));
         }
         Ok(())
     }
@@ -81,31 +221,283 @@ impl Server {
     }
 }
 
-fn handle_connection(
+/// Best-effort `server_busy` refusal on a just-accepted socket.
+fn reject_busy(mut stream: TcpStream, max_conns: usize) {
+    let body = ErrorBody::request(
+        RequestErrorKind::ServerBusy,
+        format!("connection limit ({max_conns}) reached; retry shortly"),
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut line = body.to_line();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// One live connection, rotated through the worker queue. `buf` holds
+/// bytes received but not yet parsed into a complete line; `scanned`
+/// marks the prefix already known newline-free (no re-scans).
+struct Conn {
     stream: TcpStream,
-    registry: &Registry,
-    shutdown: &AtomicBool,
+    buf: Vec<u8>,
+    scanned: usize,
+    discard: bool,
+    idle_deadline: Instant,
+}
+
+/// State shared by the acceptor and every connection worker.
+struct Pool {
+    registry: Arc<Registry>,
     addr: SocketAddr,
-) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop) = dispatch(registry, &line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop so it observes the flag.
-            let _ = TcpStream::connect(addr);
-            break;
+    shutdown: Arc<AtomicBool>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+    live: AtomicUsize,
+    live_gauge: Arc<Gauge>,
+    queue_gauge: Arc<Gauge>,
+    accepted: Arc<Counter>,
+    busy_rejected: Arc<Counter>,
+    idle_timeouts: Arc<Counter>,
+    oversize: Arc<Counter>,
+    write_timeouts: Arc<Counter>,
+}
+
+impl Pool {
+    fn new(
+        registry: Arc<Registry>,
+        addr: SocketAddr,
+        shutdown: Arc<AtomicBool>,
+        cfg: ServerConfig,
+    ) -> Pool {
+        let m = registry.metrics().clone();
+        m.gauge("server.pool.workers").set(cfg.workers.max(1) as f64);
+        Pool {
+            addr,
+            shutdown,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            live: AtomicUsize::new(0),
+            live_gauge: m.gauge("server.conns.live"),
+            queue_gauge: m.gauge("server.queue.depth"),
+            accepted: m.counter("server.conns.accepted"),
+            busy_rejected: m.counter("server.conns.busy_rejected"),
+            idle_timeouts: m.counter("server.conns.idle_timeout"),
+            oversize: m.counter("server.errors.line_too_long"),
+            write_timeouts: m.counter("server.conns.write_timeout"),
+            registry,
         }
     }
-    Ok(())
+
+    fn push(&self, conn: Conn) {
+        let mut q = self.queue.lock().expect("connection queue poisoned");
+        q.push_back(conn);
+        self.queue_gauge.set(q.len() as f64);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Pop the next connection; `None` once shutdown is flagged and
+    /// the queue is empty (the worker's exit signal).
+    fn pop(&self) -> Option<Conn> {
+        let mut q = self.queue.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(conn) = q.pop_front() {
+                self.queue_gauge.set(q.len() as f64);
+                return Some(conn);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("connection queue poisoned");
+            q = guard;
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.lock().expect("connection queue poisoned").len()
+    }
+
+    fn close(&self, conn: Conn) {
+        drop(conn);
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.live_gauge.set(self.live.load(Ordering::SeqCst) as f64);
+    }
+}
+
+/// What one worker visit decided about a connection.
+enum Visit {
+    /// Still healthy: requeue (or close, during drain). `productive`
+    /// is whether any request was served — the rotation-pacing signal.
+    Keep { productive: bool },
+    /// Peer closed, errored, idled out or stalled: drop it.
+    Close,
+    /// This connection requested `shutdown` (reply already sent).
+    Stop,
+}
+
+fn worker_loop(pool: &Pool) {
+    let mut streak = 0usize; // consecutive unproductive visits
+    while let Some(mut conn) = pool.pop() {
+        let draining = pool.shutdown.load(Ordering::SeqCst);
+        match serve_visit(pool, &mut conn, draining) {
+            Visit::Keep { productive } => {
+                if draining {
+                    // Buffered requests were just answered; drain ends
+                    // the connection rather than requeueing it.
+                    pool.close(conn);
+                } else {
+                    pool.push(conn);
+                    if productive {
+                        streak = 0;
+                    } else {
+                        streak += 1;
+                        // Every queued connection yielded nothing this
+                        // rotation: pause instead of spinning.
+                        if streak >= pool.queue_len().max(1) {
+                            streak = 0;
+                            std::thread::sleep(ROTATION_PAUSE);
+                        }
+                    }
+                }
+            }
+            Visit::Close => pool.close(conn),
+            Visit::Stop => {
+                pool.close(conn);
+                pool.shutdown.store(true, Ordering::SeqCst);
+                pool.ready.notify_all();
+                // Unblock the acceptor so it observes the flag.
+                let _ = TcpStream::connect(pool.addr);
+            }
+        }
+    }
+}
+
+/// Serve one worker visit on `conn`: answer every complete line already
+/// received (plus whatever arrives while reading), within the fairness
+/// budgets. Never blocks on reads — the socket is non-blocking; reply
+/// writes carry a timeout.
+fn serve_visit(pool: &Pool, conn: &mut Conn, draining: bool) -> Visit {
+    let mut productive = false;
+    let mut lines = 0usize;
+    let mut bytes = 0usize;
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        // Answer every complete line currently buffered.
+        while let Some(at) = conn.buf[conn.scanned..].iter().position(|&b| b == b'\n') {
+            let pos = conn.scanned + at;
+            let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+            conn.scanned = 0;
+            if conn.discard {
+                // Tail of an oversized line: the error was already
+                // answered when the cap tripped; swallow the rest.
+                conn.discard = false;
+                continue;
+            }
+            // A whole line can slip past the partial-line cap below if
+            // it arrives (newline included) within one read burst, so
+            // the cap is also enforced per complete line.
+            if line.len() - 1 > pool.cfg.max_line_bytes {
+                pool.oversize.inc();
+                let e = ErrorBody::request(
+                    RequestErrorKind::LineTooLong,
+                    format!("request line exceeds {} bytes", pool.cfg.max_line_bytes),
+                );
+                if write_reply(pool, conn, &e.to_line()).is_err() {
+                    return Visit::Close;
+                }
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            if text.trim().is_empty() {
+                continue;
+            }
+            let (response, stop) = dispatch(&pool.registry, &text);
+            if write_reply(pool, conn, &response).is_err() {
+                return Visit::Close;
+            }
+            if stop {
+                return Visit::Stop;
+            }
+            productive = true;
+            conn.idle_deadline = Instant::now() + pool.cfg.idle_timeout;
+            lines += 1;
+            if lines >= VISIT_LINE_BUDGET {
+                return Visit::Keep { productive };
+            }
+        }
+        conn.scanned = conn.buf.len();
+
+        // Cap the partial line: answer the typed error once, then
+        // discard the stream until its newline (bounded memory).
+        if conn.discard {
+            conn.buf.clear();
+            conn.scanned = 0;
+        } else if conn.buf.len() > pool.cfg.max_line_bytes {
+            pool.oversize.inc();
+            let e = ErrorBody::request(
+                RequestErrorKind::LineTooLong,
+                format!("request line exceeds {} bytes", pool.cfg.max_line_bytes),
+            );
+            if write_reply(pool, conn, &e.to_line()).is_err() {
+                return Visit::Close;
+            }
+            conn.discard = true;
+            conn.buf.clear();
+            conn.scanned = 0;
+        }
+
+        if bytes >= VISIT_BYTE_BUDGET {
+            return Visit::Keep { productive };
+        }
+
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Visit::Close,
+            Ok(n) => {
+                bytes += n;
+                conn.buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if !draining && Instant::now() >= conn.idle_deadline {
+                    pool.idle_timeouts.inc();
+                    let e = ErrorBody::request(
+                        RequestErrorKind::IdleTimeout,
+                        format!(
+                            "no request for {:?}; closing idle connection",
+                            pool.cfg.idle_timeout
+                        ),
+                    );
+                    let _ = write_reply(pool, conn, &e.to_line());
+                    return Visit::Close;
+                }
+                return Visit::Keep { productive };
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Visit::Close,
+        }
+    }
+}
+
+/// Write one reply line with a bounded write timeout, so a peer that
+/// stops reading cannot pin a worker. Restores non-blocking mode.
+fn write_reply(pool: &Pool, conn: &mut Conn, response: &str) -> std::io::Result<()> {
+    conn.stream.set_nonblocking(false)?;
+    conn.stream.set_write_timeout(Some(pool.cfg.idle_timeout))?;
+    let result = conn
+        .stream
+        .write_all(response.as_bytes())
+        .and_then(|()| conn.stream.write_all(b"\n"))
+        .and_then(|()| conn.stream.flush());
+    if let Err(e) = &result {
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            pool.write_timeouts.inc();
+        }
+    }
+    conn.stream.set_nonblocking(true)?;
+    result
 }
 
 /// Serve one request line; returns the response line and whether the
@@ -245,6 +637,15 @@ pub fn dispatch(registry: &Registry, line: &str) -> (String, bool) {
                 push_str_literal(&mut out, name);
                 let _ = write!(out, ":{value}");
             }
+            out.push_str("},\"gauges\":{");
+            for (i, (name, value)) in snap.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str_literal(&mut out, name);
+                out.push(':');
+                push_f64_lossless(&mut out, *value);
+            }
             out.push_str("}}");
             out
         }),
@@ -319,6 +720,29 @@ mod tests {
         assert!(resp.contains("\"stopping\":true"));
     }
 
+    /// Satellite regression: a panicked server thread must surface as
+    /// a typed error from `join`, not re-panic the supervising caller.
+    #[test]
+    fn join_reports_a_panicked_server_thread_as_an_error() {
+        let handle = ServerHandle {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            handle: std::thread::spawn(|| -> std::io::Result<()> {
+                panic!("simulated server crash")
+            }),
+        };
+        let err = handle.join().expect_err("panic must become an Err");
+        assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.max_conns >= cfg.workers);
+        assert_eq!(cfg.max_line_bytes, 1 << 20);
+        assert_eq!(cfg.idle_timeout, Duration::from_secs(300));
+    }
+
     fn variable_q_create_body(id: &str) -> String {
         use pbo_core::algorithms::AlgorithmKind;
         use pbo_core::budget::Budget;
@@ -386,9 +810,10 @@ mod tests {
     }
 
     #[test]
-    fn server_status_advertises_both_protos() {
+    fn server_status_advertises_both_protos_and_gauges() {
         let reg = Registry::in_memory();
         let (resp, _) = dispatch(&reg, "{\"proto\":1,\"op\":\"server-status\"}");
         assert!(resp.contains("\"protos\":[1,2]"), "{resp}");
+        assert!(resp.contains("\"gauges\":{"), "{resp}");
     }
 }

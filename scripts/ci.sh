@@ -80,8 +80,10 @@ if [[ "${1:-}" != "--quick" ]]; then
   srv=target/ci-server
   rm -rf "$srv"; mkdir -p "$srv"
   cargo build --release -q -p pbo-server
+  # All smokes run against the bounded 2-worker connection pool — the
+  # crash/restart contract must hold under pooled scheduling too.
   start_daemon() {
-    target/release/pbo-server serve --addr 127.0.0.1:0 \
+    target/release/pbo-server serve --addr 127.0.0.1:0 --workers 2 \
       --dir "$srv/sessions" --addr-file "$srv/addr" >"$srv/daemon.log" 2>&1 &
     daemon_pid=$!
     for _ in $(seq 1 100); do [[ -s "$srv/addr" ]] && break; sleep 0.1; done
@@ -123,6 +125,44 @@ if [[ "${1:-}" != "--quick" ]]; then
   kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
   cmp "$srv/served.json" "$srv/local.json"
   grep -q '"qs":' "$srv/sessions/ci-vq.session.json"
+  rm -rf "$srv"
+
+  # Bounded-pool leg: hammer the 2-worker daemon with parallel client
+  # processes mid-session, kill -9, restart, resume every session in
+  # parallel again — each record must still be byte-identical to its
+  # in-process reference. Pool scheduling must never perturb a
+  # trajectory, even across a crash.
+  echo "== pbo-server smoke: 2-worker pool, parallel clients, kill -9 / restart =="
+  rm -rf "$srv"; mkdir -p "$srv"
+  pool_session() { # i extra...
+    local i=$1; shift
+    target/release/pbo-server drive --addr "$(cat "$srv/addr")" \
+      --id "pool-$i" --problem ackley-2d --algo random --cycles 2 --q 2 \
+      --init 4 --seed "$i" "$@" >/dev/null
+  }
+  start_daemon
+  pool_pids=()
+  for i in 1 2 3 4 5 6 7 8; do
+    pool_session "$i" --stop-after 1 &
+    pool_pids+=($!)
+  done
+  wait "${pool_pids[@]}"
+  kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
+  rm -f "$srv/addr"
+  start_daemon
+  pool_pids=()
+  for i in 1 2 3 4 5 6 7 8; do
+    pool_session "$i" --record-out "$srv/pool-$i.json" &
+    pool_pids+=($!)
+  done
+  wait "${pool_pids[@]}"
+  kill -9 "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true
+  for i in 1 2 3 4 5 6 7 8; do
+    target/release/pbo-server drive --local \
+      --id "pool-$i" --problem ackley-2d --algo random --cycles 2 --q 2 \
+      --init 4 --seed "$i" --record-out "$srv/local-$i.json" >/dev/null
+    cmp "$srv/pool-$i.json" "$srv/local-$i.json"
+  done
   rm -rf "$srv"
 
   # The public API surface is documented; rustdoc warnings (broken

@@ -556,3 +556,301 @@ fn nan_design_values_are_dropped_like_in_process_doe_faults() {
     assert_eq!(r.doe_size, doe - 1, "doe_size records the surviving design points");
     assert_eq!(r.y_min.len(), doe - 1 + 2);
 }
+
+// ---------------------------------------------------------------------
+// Bounded-pool hardening (DESIGN §14): containment, backpressure, drain.
+// ---------------------------------------------------------------------
+
+use pbo_server::server::ServerConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A raw socket speaking the wire protocol by hand, for offender
+/// scenarios the polite [`Client`] cannot express (half-sent requests,
+/// silence, oversized lines).
+fn raw_conn(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (reader, stream)
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+fn counter(status: &pbo::core::json::Json, name: &str) -> u64 {
+    status
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(pbo::core::json::Json::as_u64)
+        .unwrap_or_else(|| panic!("server-status must carry counter {name}"))
+}
+
+fn gauge(status: &pbo::core::json::Json, name: &str) -> f64 {
+    status
+        .get("gauges")
+        .and_then(|g| g.get(name))
+        .and_then(pbo::core::json::Json::as_f64)
+        .unwrap_or_else(|| panic!("server-status must carry gauge {name}"))
+}
+
+/// Satellite bugfix — unbounded request lines were a memory DoS.
+/// A line past `max_line_bytes` gets the typed `line_too_long` error,
+/// the counter increments exactly once, and the *same connection*
+/// remains fully usable (the oversized line is discarded, not fatal).
+#[test]
+fn oversize_line_gets_typed_error_and_connection_survives() {
+    let config = ServerConfig { max_line_bytes: 64 * 1024, ..ServerConfig::default() };
+    let server =
+        Server::bind_with(Arc::new(Registry::in_memory()), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).unwrap();
+
+    // ~4x the cap, no newline until the end: the cap must trip while
+    // the line is still streaming in.
+    let huge = format!("{{\"proto\":2,\"op\":\"ask\",\"id\":\"{}\"}}", "x".repeat(256 * 1024));
+    let resp = client.raw(&huge).unwrap();
+    let code = resp
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(pbo::core::json::Json::as_str);
+    assert_eq!(code, Some("line_too_long"), "{resp:?}");
+
+    // Same connection: a normal session still drives to byte-identity.
+    let (p, cfg) = session_cfg(AlgorithmKind::RandomSearch, 61, 2, 2);
+    let want = reference_line(&p, &cfg);
+    let outcome = drive(&mut client, "post-oversize", &cfg, &p, None).unwrap();
+    assert!(outcome.done);
+    assert_eq!(outcome.record.unwrap(), want, "connection damaged by the oversize line");
+
+    let status = client.server_status().unwrap();
+    assert_eq!(counter(&status, "server.errors.line_too_long"), 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Tentpole backpressure — past `max_conns` the acceptor answers a
+/// typed `server_busy` error and closes, instead of stalling or
+/// spawning without bound; established connections are untouched.
+#[test]
+fn connection_cap_refuses_with_typed_server_busy() {
+    let config = ServerConfig { workers: 1, max_conns: 1, ..ServerConfig::default() };
+    let server =
+        Server::bind_with(Arc::new(Registry::in_memory()), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut a = Client::connect(addr).unwrap();
+    // A round trip guarantees A is accepted and counted before B tries.
+    a.server_status().unwrap();
+
+    let (mut b_reader, _b_stream) = raw_conn(addr);
+    let line = read_line(&mut b_reader);
+    let v = pbo::core::json::parse(&line).unwrap();
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("code")).and_then(pbo::core::json::Json::as_str),
+        Some("server_busy"),
+        "{line}"
+    );
+    let mut rest = String::new();
+    assert_eq!(b_reader.read_to_string(&mut rest).unwrap(), 0, "B must be closed after the refusal");
+
+    // A is unaffected and sees the rejection in the counters.
+    let status = a.server_status().unwrap();
+    assert_eq!(counter(&status, "server.conns.busy_rejected"), 1);
+    assert!(gauge(&status, "server.conns.live") >= 1.0);
+
+    a.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Tentpole containment — a silent connection is answered a typed
+/// `idle_timeout` error and closed, freeing its slot; the server stays
+/// healthy for clients that arrive afterwards.
+#[test]
+fn idle_connection_gets_typed_timeout_and_is_closed() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with(Arc::new(Registry::in_memory()), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let (mut idle_reader, _idle_stream) = raw_conn(addr);
+    // Send nothing. The server must speak first — a typed refusal.
+    let line = read_line(&mut idle_reader);
+    let v = pbo::core::json::parse(&line).unwrap();
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("code")).and_then(pbo::core::json::Json::as_str),
+        Some("idle_timeout"),
+        "{line}"
+    );
+    let mut rest = String::new();
+    assert_eq!(idle_reader.read_to_string(&mut rest).unwrap(), 0, "idle conn must be closed");
+
+    // The slot is free again: a new client works and sees the counter.
+    let mut client = Client::connect(addr).unwrap();
+    let status = client.server_status().unwrap();
+    assert_eq!(counter(&status, "server.conns.idle_timeout"), 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Satellite bugfix — shutdown used to leave handler threads detached,
+/// racing a severed in-flight tell. The drain contract: a tell issued
+/// just before shutdown either completes with a reply or is refused —
+/// never half-applied — `run()` returns only after every worker is
+/// joined, and every surviving connection is closed (EOF), not
+/// abandoned to a detached thread.
+#[test]
+fn shutdown_drains_in_flight_tell_and_joins_workers() {
+    let registry = Arc::new(Registry::in_memory());
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let server = Server::bind_with(registry.clone(), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Set up a session and fetch its design ask over a raw connection.
+    let (p, cfg) = session_cfg(AlgorithmKind::RandomSearch, 62, 2, 2);
+    let (mut a_reader, mut a_stream) = raw_conn(addr);
+    send_line(&mut a_stream, &proto::encode_create("draining", &cfg));
+    read_line(&mut a_reader);
+    send_line(&mut a_stream, &proto::encode_ask("draining"));
+    let ask = pbo::core::json::parse(&read_line(&mut a_reader)).unwrap();
+    let turn = ask.get("turn").and_then(pbo::core::json::Json::as_usize).unwrap();
+    let points: Vec<Vec<f64>> = ask
+        .get("points")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap()
+        .iter()
+        .map(|row| row.as_array().unwrap().iter().filter_map(|x| x.as_f64()).collect())
+        .collect();
+    let values: Vec<f64> = points.iter().map(|x| p.eval(x)).collect();
+
+    // An idle bystander connection, open across the shutdown.
+    let (mut c_reader, _c_stream) = raw_conn(addr);
+
+    // The in-flight tell: written, reply deliberately not read yet.
+    send_line(&mut a_stream, &proto::encode_tell("draining", turn, &values));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Another client asks the daemon to stop.
+    let mut b = Client::connect(addr).unwrap();
+    b.shutdown().unwrap();
+    handle.join().expect("run() must return cleanly after the drain");
+
+    // The tell was answered before the drain closed A — and the answer
+    // matches the registry state: applied exactly once, never half.
+    let reply = pbo::core::json::parse(&read_line(&mut a_reader)).unwrap();
+    assert_eq!(reply.get("ok").and_then(pbo::core::json::Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("turn").and_then(pbo::core::json::Json::as_usize),
+        Some(turn + 1),
+        "tell reply must carry the advanced turn"
+    );
+    let (status, _) = registry.status("draining").unwrap();
+    assert_eq!(status.turn, turn + 1, "registry and reply disagree on the tell");
+
+    // Both connections are closed, not abandoned: EOF, promptly.
+    let mut rest = String::new();
+    assert_eq!(a_reader.read_to_string(&mut rest).unwrap(), 0, "A must be closed by the drain");
+    assert_eq!(c_reader.read_to_string(&mut rest).unwrap(), 0, "idle bystander must be closed");
+}
+
+/// Tentpole soak — 64 simultaneous client threads against a 4-worker
+/// pool, with an oversize offender driving interleaved create/ask/tell
+/// traffic on a damaged connection and a silent connection parked
+/// across the whole run. Every session's record must be byte-identical
+/// to its in-process `drive --local` reference, and the containment
+/// counters must reconcile exactly.
+#[test]
+fn pooled_soak_64_threaded_clients_are_byte_identical() {
+    let config = ServerConfig {
+        workers: 4,
+        max_conns: 128,
+        // Generous: a client thread starved by the scheduler must never
+        // be mistaken for an idle offender.
+        idle_timeout: Duration::from_secs(60),
+        max_line_bytes: 64 * 1024,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with(Arc::new(Registry::in_memory()), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // A silent offender, parked for the duration of the soak.
+    let (mut idle_reader, _idle_stream) = raw_conn(addr);
+
+    // 64 concurrent drives, each on its own connection and thread.
+    let drivers: Vec<std::thread::JoinHandle<(String, String, String)>> = (0..64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let algorithm = if i % 8 == 0 {
+                    AlgorithmKind::KbQEgo
+                } else {
+                    AlgorithmKind::RandomSearch
+                };
+                let (p, cfg) = session_cfg(algorithm, 900 + i as u64, 2, 2);
+                let id = format!("pool-soak-{i:02}");
+                let mut client = Client::connect(addr).unwrap();
+                let outcome = drive(&mut client, &id, &cfg, &p, None).unwrap();
+                assert!(outcome.done, "{id} did not finish");
+                (id, outcome.record.unwrap(), reference_line(&p, &cfg))
+            })
+        })
+        .collect();
+
+    // Meanwhile, the oversize offender: a 256 KiB line against the
+    // 64 KiB cap, then a full session on the same damaged connection.
+    let mut offender = Client::connect(addr).unwrap();
+    let resp = offender.raw(&"z".repeat(256 * 1024)).unwrap();
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("code")).and_then(pbo::core::json::Json::as_str),
+        Some("line_too_long")
+    );
+    let (p, cfg) = session_cfg(AlgorithmKind::RandomSearch, 964, 2, 2);
+    let outcome = drive(&mut offender, "pool-soak-offender", &cfg, &p, None).unwrap();
+    assert_eq!(
+        outcome.record.unwrap(),
+        reference_line(&p, &cfg),
+        "offender's own session diverged"
+    );
+
+    for d in drivers {
+        let (id, got, want) = d.join().unwrap();
+        assert_eq!(got, want, "session {id} was perturbed by pool concurrency");
+    }
+
+    // Containment counters reconcile exactly: one oversize line, no
+    // busy rejections (128-cap), no idle timeouts (60 s window), and
+    // 65 sessions created (64 drivers + the offender's).
+    let status = offender.server_status().unwrap();
+    assert_eq!(counter(&status, "server.errors.line_too_long"), 1);
+    assert_eq!(counter(&status, "server.conns.busy_rejected"), 0);
+    assert_eq!(counter(&status, "server.conns.idle_timeout"), 0);
+    assert_eq!(counter(&status, "server.sessions.created"), 65);
+    assert_eq!(gauge(&status, "server.pool.workers"), 4.0);
+
+    offender.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // The drain closed the parked silent connection too.
+    let mut rest = String::new();
+    assert_eq!(idle_reader.read_to_string(&mut rest).unwrap(), 0, "drain must close idle conns");
+}
